@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: why GPM needs parallelism (§4.3's counter-example).
+ *
+ * Binomial options pricing writes ONE value per threadblock —
+ * essentially no parallelism in the persist path — so GPM's advantage
+ * over CAP collapses, while Black–Scholes (BLK), which persists one
+ * value per *thread*, keeps the full checkpointing-class speedup. The
+ * paper uses exactly this contrast to delimit where GPM helps.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+#include "workloads/binomial.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Workload", "Persist grain", "CAP-fs (ms)",
+                 "GPM (ms)", "GPM speedup"});
+
+    {
+        Machine fs(cfg, PlatformKind::CapFs, pmCapacity());
+        Machine gpm(cfg, PlatformKind::Gpm, pmCapacity());
+        BinomialParams p;
+        GpBinomial a(fs, p), b(gpm, p);
+        const SimNs cap_ns = a.run().op_ns;
+        const SimNs gpm_ns = b.run().op_ns;
+        table.addRow({"Binomial options", "1 value / threadblock",
+                      Table::num(toMs(cap_ns)),
+                      Table::num(toMs(gpm_ns)),
+                      Table::num(cap_ns / gpm_ns, 1) + "x"});
+    }
+    {
+        const WorkloadResult cap =
+            runBench(Bench::Blk, PlatformKind::CapFs, cfg);
+        const WorkloadResult gpm =
+            runBench(Bench::Blk, PlatformKind::Gpm, cfg);
+        table.addRow({"Black-Scholes (BLK)", "1 value / thread",
+                      Table::num(toMs(comparableNs(Bench::Blk, cap))),
+                      Table::num(toMs(comparableNs(Bench::Blk, gpm))),
+                      Table::num(comparableNs(Bench::Blk, cap) /
+                                 comparableNs(Bench::Blk, gpm), 1) +
+                          "x"});
+    }
+
+    report("Ablation: GPM needs persist parallelism (section 4.3)",
+           table);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Projection: GPM over CXL-attached PM (section 3.3).
+ *
+ * The paper argues CXL 2.0's coherent fabric cannot by itself give
+ * fine-grain in-kernel persistence (GPF flushes everything and only
+ * from the host), but that GPM's design principles extend to
+ * CXL-attached PM. This bench quantifies the projection: the same
+ * GPM software stack on the Table 3 machine vs a CXL-class
+ * interconnect (more bandwidth, lower fence latency, deeper
+ * concurrency; identical Optane media).
+ *
+ * Expected shape: fence-bound workloads (transactional, BFS) gain the
+ * most; media-bound streaming (checkpointing) barely moves — the
+ * media, not the link, is their ceiling.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    const SimConfig pcie;
+    const SimConfig cxl = SimConfig::cxlAttachedPm();
+
+    Table table({"Workload", "GPM over PCIe 3.0 (ms)",
+                 "GPM over CXL 2.0 (ms)", "CXL gain"});
+    for (const Bench b :
+         {Bench::Kvs, Bench::DbUpdate, Bench::Dnn, Bench::Bfs,
+          Bench::PrefixSum}) {
+        const WorkloadResult a = runBench(b, PlatformKind::Gpm, pcie);
+        const WorkloadResult c = runBench(b, PlatformKind::Gpm, cxl);
+        const SimNs an = comparableNs(b, a), cn = comparableNs(b, c);
+        table.addRow({benchName(b), Table::num(toMs(an), 3),
+                      Table::num(toMs(cn), 3),
+                      Table::num(an / cn) + "x"});
+    }
+    report("Projection: GPM on CXL-attached PM (section 3.3)", table);
+    return 0;
+}

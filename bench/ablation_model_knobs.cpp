@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: sensitivity of the headline results to the timing model's
+ * calibrated mechanisms (DESIGN.md's verification plan).
+ *
+ * Each row disables or degrades one mechanism and reports the GPM
+ * speedup over CAP-fs for the workload most exposed to it:
+ *
+ *  - WPQ burst absorption     -> BFS (per-level small bursts)
+ *  - DIMM-parallel random writes -> gpKVS (scattered SETs)
+ *  - PCIe non-posted concurrency -> gpKVS (fence waves)
+ *  - MC fence latency          -> gpDB (U) (two fences per update)
+ *
+ * If a row barely moves, the mechanism is not load-bearing for that
+ * claim; large movement shows which physical effect each paper result
+ * rests on.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+double
+speedup(Bench b, const SimConfig &cfg)
+{
+    const WorkloadResult cap = runBench(b, PlatformKind::CapFs, cfg);
+    const WorkloadResult gpm = runBench(b, PlatformKind::Gpm, cfg);
+    return comparableNs(b, cap) / comparableNs(b, gpm);
+}
+
+} // namespace
+
+int
+main()
+{
+    const SimConfig base;
+    Table table({"Mechanism ablated", "Workload", "Baseline",
+                 "Ablated"});
+
+    {
+        SimConfig cfg = base;
+        cfg.wpq_absorb_bytes = 0;
+        table.addRow({"WPQ burst absorption -> off", "BFS",
+                      Table::num(speedup(Bench::Bfs, base), 1) + "x",
+                      Table::num(speedup(Bench::Bfs, cfg), 1) + "x"});
+    }
+    {
+        SimConfig cfg = base;
+        cfg.nvm_gpu_random_boost = 1.0;
+        table.addRow({"DIMM-parallel random writes -> off", "gpKVS",
+                      Table::num(speedup(Bench::Kvs, base), 1) + "x",
+                      Table::num(speedup(Bench::Kvs, cfg), 1) + "x"});
+    }
+    {
+        SimConfig cfg = base;
+        cfg.pcie_concurrency = 64;  // 1024 in the baseline (Fig 3b)
+        table.addRow({"PCIe non-posted concurrency 1024 -> 64",
+                      "gpKVS",
+                      Table::num(speedup(Bench::Kvs, base), 1) + "x",
+                      Table::num(speedup(Bench::Kvs, cfg), 1) + "x"});
+    }
+    {
+        SimConfig cfg = base;
+        cfg.fence_mc_ns = 4 * base.fence_mc_ns;
+        table.addRow({"MC fence latency x4", "gpDB (U)",
+                      Table::num(speedup(Bench::DbUpdate, base), 1) +
+                          "x",
+                      Table::num(speedup(Bench::DbUpdate, cfg), 1) +
+                          "x"});
+    }
+    {
+        SimConfig cfg = base;
+        cfg.fsync_ns = 10000;  // optimistic fsync
+        table.addRow({"ext4-DAX fsync 60us -> 10us", "BFS",
+                      Table::num(speedup(Bench::Bfs, base), 1) + "x",
+                      Table::num(speedup(Bench::Bfs, cfg), 1) + "x"});
+    }
+
+    report("Ablation: timing-model mechanism sensitivity", table);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table benches.
+ *
+ * Mirrors the paper artifact's reporting: every bench prints an
+ * aligned human-readable table to stdout and the same rows as
+ * tab-separated values (the artifact's out_*.txt format) beneath it.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace gpm::bench {
+
+/** Print the bench banner, the aligned table, then the TSV block. */
+inline void
+report(const std::string &title, const Table &table)
+{
+    std::cout << "=== " << title << " ===\n\n";
+    table.print(std::cout);
+    std::cout << "\n--- TSV ---\n";
+    table.printTsv(std::cout);
+    std::cout << std::endl;
+}
+
+} // namespace gpm::bench

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 1(a): throughput of persistent key-value stores — the three
+ * CPU PM engines (pmemKV / RocksDB-pmem / MatrixKV analogs) against
+ * MegaKV ported onto GPM (batched SETs, 8 B keys and values).
+ *
+ * Paper shape: GPM-KVS beats them by 5.8x / 3.1x / 2.7x respectively.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"KVS", "Throughput (Mops/s)", "GPM speedup"});
+
+    double cpu_mops[3] = {};
+    for (int d = 0; d < 3; ++d) {
+        Machine m(cfg, PlatformKind::CpuOnly, pmCapacity());
+        CpuPmKvs kvs(m, static_cast<CpuKvsDesign>(d), cpuKvsParams());
+        cpu_mops[d] = kvs.run().mops();
+    }
+    const WorkloadResult gpm = runBench(Bench::Kvs, PlatformKind::Gpm,
+                                        cfg);
+    const double gpm_mops = gpm.mops();
+
+    for (int d = 0; d < 3; ++d) {
+        table.addRow({cpuKvsName(static_cast<CpuKvsDesign>(d)),
+                      Table::num(cpu_mops[d]),
+                      Table::num(gpm_mops / cpu_mops[d], 1) + "x"});
+    }
+    table.addRow({"GPM-KVS (MegaKV+GPM)", Table::num(gpm_mops), "1.0x"});
+
+    report("Figure 1a: persistent KVS throughput (batched SETs)",
+           table);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 1(b): speedup of GPM over multi-threaded CPU applications
+ * that use PM for persistence (BFS / SRAD / PS).
+ *
+ * Paper shape: BFS 27x, SRAD 19.2x, PS 2.8x. Also prints the section
+ * 6.1 CPU-DB comparison (gpDB I/U vs the OpenMP port: 3.1x / 6.9x).
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Workload", "CPU+PM (ms)", "GPM (ms)", "Speedup"});
+
+    auto row = [&](const std::string &name, SimNs cpu_ns, SimNs gpm_ns) {
+        table.addRow({name, Table::num(toMs(cpu_ns)),
+                      Table::num(toMs(gpm_ns)),
+                      Table::num(cpu_ns / gpm_ns, 1) + "x"});
+    };
+
+    {
+        Machine mc(cfg, PlatformKind::CpuOnly, pmCapacity());
+        const WorkloadResult rc = runCpuBfs(mc, bfsParams());
+        const WorkloadResult rg = runBench(Bench::Bfs,
+                                           PlatformKind::Gpm, cfg);
+        row("BFS", rc.op_ns, rg.op_ns);
+    }
+    {
+        Machine mc(cfg, PlatformKind::CpuOnly, pmCapacity());
+        const WorkloadResult rc = runCpuSrad(mc, sradParams());
+        const WorkloadResult rg = runBench(Bench::Srad,
+                                           PlatformKind::Gpm, cfg);
+        row("SRAD", rc.op_ns, rg.op_ns);
+    }
+    {
+        Machine mc(cfg, PlatformKind::CpuOnly, pmCapacity());
+        const WorkloadResult rc = runCpuPrefixSum(mc, psParams());
+        const WorkloadResult rg = runBench(Bench::PrefixSum,
+                                           PlatformKind::Gpm, cfg);
+        row("PS", rc.op_ns, rg.op_ns);
+    }
+    {
+        Machine mc(cfg, PlatformKind::CpuOnly, pmCapacity());
+        const WorkloadResult rc =
+            runCpuDb(mc, dbParams(), GpDb::TxnKind::Insert);
+        const WorkloadResult rg = runBench(Bench::DbInsert,
+                                           PlatformKind::Gpm, cfg);
+        row("gpDB (I) [sec 6.1]", rc.op_ns, rg.op_ns);
+    }
+    {
+        Machine mc(cfg, PlatformKind::CpuOnly, pmCapacity());
+        const WorkloadResult rc =
+            runCpuDb(mc, dbParams(), GpDb::TxnKind::Update);
+        const WorkloadResult rg = runBench(Bench::DbUpdate,
+                                           PlatformKind::Gpm, cfg);
+        row("gpDB (U) [sec 6.1]", rc.op_ns, rg.op_ns);
+    }
+
+    report("Figure 1b: GPM speedup over CPU applications using PM",
+           table);
+    return 0;
+}

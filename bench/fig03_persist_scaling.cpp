@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 3: scaling of persistence (section 3.2's microbenchmark).
+ *
+ * Writes and persists a buffer from (a) CAP-mm with 1..64 CPU threads
+ * and (b) GPM with 32..2048 GPU threads persisting at an 8-byte
+ * granularity. Paper shape: CAP plateaus at 1.47x over one thread;
+ * GPM dips below 1x at <=128 threads and plateaus near 4x around
+ * 1-2 K threads (the PCIe non-posted concurrency bound).
+ */
+#include "bench/bench_util.hpp"
+#include "gpm/gpm_runtime.hpp"
+#include "gpusim/kernel.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+constexpr std::uint64_t kBytes = 16_MiB;
+
+SimNs
+capMicro(const SimConfig &cfg, int threads)
+{
+    // The persist phase alone (store + CLFLUSHOPT + SFENCE pool) —
+    // the part whose thread scaling Fig 3a reports.
+    Machine m(cfg, PlatformKind::CapMm, kBytes + 1_MiB);
+    const PmRegion r = m.pool().map("micro", kBytes, true);
+    std::vector<std::uint8_t> buf(kBytes, 0x5a);
+    const SimNs t0 = m.now();
+    m.cpuWritePersist(r.offset, buf.data(), kBytes, threads);
+    return m.now() - t0;
+}
+
+SimNs
+gpmMicro(const SimConfig &cfg, std::uint32_t threads)
+{
+    Machine m(cfg, PlatformKind::Gpm, kBytes + 1_MiB);
+    const PmRegion r = m.pool().map("micro", kBytes, true);
+    gpmPersistBegin(m);
+
+    const std::uint64_t grains = kBytes / 8;
+    const std::uint64_t per_thread = grains / threads;
+    const std::uint32_t warp =
+        static_cast<std::uint32_t>(cfg.warp_size);
+    const std::uint32_t tpb = std::min<std::uint32_t>(threads, 256);
+
+    KernelDesc k;
+    k.name = "persist_micro";
+    k.blocks = std::max<std::uint32_t>(1, threads / tpb);
+    k.block_threads = tpb;
+    const std::uint64_t base = r.offset;
+    k.phases.push_back([=](ThreadCtx &ctx) {
+        // Warp-contiguous layout: lane l writes grain i*32+l of the
+        // warp's chunk, then persists — 8 B write + fence per grain.
+        const std::uint64_t chunk =
+            std::uint64_t(warp) * per_thread;
+        const std::uint64_t warp_base =
+            base + ctx.globalWarp() * chunk * 8;
+        for (std::uint64_t i = 0; i < per_thread; ++i) {
+            const std::uint64_t value = i;
+            ctx.pmStore(warp_base + (i * warp + ctx.lane()) * 8,
+                        value);
+            ctx.threadfenceSystem();
+        }
+    });
+    const SimNs t0 = m.now();
+    m.runKernel(k);
+    return m.now() - t0;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig cfg;
+    const SimNs cap_1t = capMicro(cfg, 1);
+
+    Table cap({"CPU threads", "Speedup over 1 CPU thread"});
+    for (const int t : {1, 2, 4, 6, 16, 32, 64})
+        cap.addRow({std::to_string(t),
+                    Table::num(cap_1t / capMicro(cfg, t)) + "x"});
+    report("Figure 3a: CAP-mm persist scaling", cap);
+
+    Table gpm({"GPU threads", "Speedup over 1-thread CAP-mm"});
+    for (const std::uint32_t t : {32u, 64u, 128u, 256u, 512u, 1024u,
+                                  2048u})
+        gpm.addRow({std::to_string(t),
+                    Table::num(cap_1t / gpmMicro(cfg, t)) + "x"});
+    report("Figure 3b: GPM persist scaling (8 B grains)", gpm);
+    return 0;
+}

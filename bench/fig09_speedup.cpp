@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 9: speedup of CAP-mm, GPM and GPUfs over CAP-fs across the
+ * eleven workload configurations, clustered by class.
+ *
+ * Paper shape: CAP-mm ~2x on gpKVS; GPM 7-8x on gpKVS, 16/8/17/18/11x
+ * on the checkpointing group, up to 85x on BFS; GPUfs below 1x where
+ * it runs at all and "*" (unsupported) on the fine-grain workloads.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Class", "Workload", "CAP-fs (ms)", "CAP-mm", "GPM",
+                 "GPUfs"});
+
+    for (const Bench b : kAllBenches) {
+        const WorkloadResult base_r = runBench(b, PlatformKind::CapFs,
+                                               cfg);
+        const SimNs base = comparableNs(b, base_r);
+        auto speedup = [&](PlatformKind kind) -> std::string {
+            const WorkloadResult r = runBench(b, kind, cfg);
+            if (!r.supported)
+                return "*";
+            return Table::num(base / comparableNs(b, r)) + "x";
+        };
+        table.addRow({benchClass(b), benchName(b),
+                      Table::num(toMs(base)),
+                      speedup(PlatformKind::CapMm),
+                      speedup(PlatformKind::Gpm),
+                      speedup(PlatformKind::Gpufs)});
+    }
+    report("Figure 9: speedup over CAP-fs ('*' = unsupported on GPUfs)",
+           table);
+    return 0;
+}

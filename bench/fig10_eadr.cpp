@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: GPM-NDP / GPM / GPM-eADR / CAP-eADR speedup over CAP-fs
+ * (log-scale bars in the paper).
+ *
+ * Paper shape: GPM up to 6x over GPM-NDP (direct persistence matters
+ * beyond direct access); GPM-eADR up to 13x over GPM on fence-heavy
+ * (logging) workloads and ~flat on checkpointing; GPM-eADR ~24x
+ * CAP-eADR on average (eADR does not rescue CAP's data movement).
+ */
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Class", "Workload", "GPM-NDP", "GPM", "GPM-eADR",
+                 "CAP-eADR"});
+
+    double geo_gpm_eadr = 0, geo_cap_eadr = 0;
+    int count = 0;
+    for (const Bench b : kAllBenches) {
+        const WorkloadResult base_r = runBench(b, PlatformKind::CapFs,
+                                               cfg);
+        const SimNs base = comparableNs(b, base_r);
+        auto cell = [&](PlatformKind kind) {
+            const WorkloadResult r = runBench(b, kind, cfg);
+            return comparableNs(b, r);
+        };
+        const double ndp = base / cell(PlatformKind::GpmNdp);
+        const double gpm = base / cell(PlatformKind::Gpm);
+        const double gpm_eadr = base / cell(PlatformKind::GpmEadr);
+        const double cap_eadr = base / cell(PlatformKind::CapEadr);
+        geo_gpm_eadr += std::log(gpm_eadr);
+        geo_cap_eadr += std::log(cap_eadr);
+        ++count;
+        table.addRow({benchClass(b), benchName(b),
+                      Table::num(ndp) + "x", Table::num(gpm) + "x",
+                      Table::num(gpm_eadr) + "x",
+                      Table::num(cap_eadr) + "x"});
+    }
+    table.addRow({"", "geomean", "", "",
+                  Table::num(std::exp(geo_gpm_eadr / count)) + "x",
+                  Table::num(std::exp(geo_cap_eadr / count)) + "x"});
+    report("Figure 10: speedup over CAP-fs (eADR projections)", table);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 11(a): speedup of HCL over conventional distributed logging
+ * for the transactional workloads.
+ *
+ * Paper shape: gpKVS 3.3x (only one in eight threads logs, limiting
+ * HCL's parallelism win); gpDB (U) 6.1x (every thread logs a 60 B+
+ * row). gpDB (I) is skipped — it only logs the table size.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+SimNs
+kvsRun(const SimConfig &cfg, bool hcl)
+{
+    Machine m(cfg, PlatformKind::Gpm, pmCapacity());
+    GpKvsParams p = kvsParams();
+    p.use_hcl = hcl;
+    GpKvs w(m, p);
+    return w.run().op_ns;
+}
+
+SimNs
+dbRun(const SimConfig &cfg, bool hcl)
+{
+    Machine m(cfg, PlatformKind::Gpm, pmCapacity());
+    GpDbParams p = dbParams();
+    p.use_hcl = hcl;
+    GpDb w(m, p);
+    return w.run(GpDb::TxnKind::Update).op_ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Workload", "Conventional (ms)", "HCL (ms)",
+                 "HCL speedup"});
+
+    const SimNs kvs_conv = kvsRun(cfg, false);
+    const SimNs kvs_hcl = kvsRun(cfg, true);
+    table.addRow({"gpKVS", Table::num(toMs(kvs_conv)),
+                  Table::num(toMs(kvs_hcl)),
+                  Table::num(kvs_conv / kvs_hcl, 1) + "x"});
+
+    const SimNs db_conv = dbRun(cfg, false);
+    const SimNs db_hcl = dbRun(cfg, true);
+    table.addRow({"gpDB (U)", Table::num(toMs(db_conv)),
+                  Table::num(toMs(db_hcl)),
+                  Table::num(db_conv / db_hcl, 1) + "x"});
+
+    report("Figure 11a: HCL speedup over conventional logging", table);
+    return 0;
+}

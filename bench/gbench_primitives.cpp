@@ -1,0 +1,101 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own primitives
+ * (host wall time, not simulated time): PmPool store/persist, the
+ * warp coalescer, HCL striped inserts and the Optane classifier.
+ * These guard the simulator against performance regressions — the
+ * figure benches run millions of these operations.
+ */
+#include <benchmark/benchmark.h>
+
+#include "gpm/gpm_log.hpp"
+#include "gpm/gpm_runtime.hpp"
+#include "gpusim/kernel.hpp"
+#include "harness/experiments.hpp"
+
+namespace gpm {
+namespace {
+
+void
+BM_PmPoolDeviceWritePersist(benchmark::State &state)
+{
+    SimConfig cfg;
+    PmPool pool(16_MiB, PersistDomain::McDurable);
+    std::uint64_t v = 42, addr = 0;
+    for (auto _ : state) {
+        pool.deviceWrite(7, addr % 8_MiB, &v, 8);
+        pool.persistOwner(7);
+        addr += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PmPoolDeviceWritePersist);
+
+void
+BM_NvmClassifierSequential(benchmark::State &state)
+{
+    SimConfig cfg;
+    NvmModel nvm(cfg);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        nvm.recordWrite(1, addr, 128);
+        addr += 128;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvmClassifierSequential);
+
+void
+BM_KernelLaunchSmall(benchmark::State &state)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    gpmPersistBegin(m);
+    KernelDesc k;
+    k.name = "noop";
+    k.blocks = 4;
+    k.block_threads = 128;
+    k.phases.push_back([](ThreadCtx &ctx) { ctx.work(1); });
+    for (auto _ : state)
+        m.runKernel(k);
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_KernelLaunchSmall);
+
+void
+BM_HclInsert(benchmark::State &state)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 256_MiB);
+    gpmPersistBegin(m);
+    GpmLog log = GpmLog::createHcl(m, "bmlog", 24, 4096, 8, 256);
+    struct E {
+        std::uint64_t a, b, c;
+    };
+    KernelDesc k;
+    k.name = "hcl_insert";
+    k.blocks = 8;
+    k.block_threads = 256;
+    std::uint32_t round = 0;
+    k.phases.push_back([&log, &round](ThreadCtx &ctx) {
+        const E e{ctx.globalId(), round, 1};
+        log.insert(ctx, &e, sizeof(e));
+    });
+    for (auto _ : state) {
+        if (round >= 4094) {
+            state.PauseTiming();
+            log.clearAll();
+            round = 0;
+            state.ResumeTiming();
+        }
+        m.runKernel(k);
+        ++round;
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_HclInsert);
+
+} // namespace
+} // namespace gpm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Section 6.1's DNN checkpointing detail: per-10-iteration compute
+ * time vs checkpoint and restore cost, and the total-time benefit of
+ * GPM over CAP-fs at different checkpoint frequencies.
+ *
+ * Paper: ~8.26 ms per 10 training iterations, 0.221 ms to checkpoint,
+ * 0.342 ms to restore; total execution improves 61 % / 40 % at
+ * every-10 / every-20 checkpointing (19-122 % across workloads).
+ */
+#include "bench/bench_util.hpp"
+#include "gpm/gpm_checkpoint.hpp"
+#include "harness/experiments.hpp"
+#include "workloads/iterative.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+SimNs
+totalTime(const SimConfig &cfg, PlatformKind kind,
+          std::uint32_t checkpoint_every)
+{
+    Machine m(cfg, kind, pmCapacity());
+    DnnApp app(dnnParams());
+    IterativeParams sched;
+    sched.iterations = 40;
+    sched.checkpoint_every = checkpoint_every;
+    return app.run(m, sched).op_ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig cfg;
+
+    // Piece costs on GPM.
+    Machine m(cfg, PlatformKind::Gpm, pmCapacity());
+    DnnApp app(dnnParams());
+    app.init();
+    const SimNs c0 = m.now();
+    for (std::uint32_t i = 0; i < 10; ++i)
+        app.computeIteration(m, i);
+    const SimNs compute10 = m.now() - c0;
+
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "dnn.freq.cp",
+                                             app.stateBytes(), 16, 1);
+    app.registerState(cp);
+    const SimNs k0 = m.now();
+    cp.checkpoint(0);
+    const SimNs ckpt = m.now() - k0;
+    const SimNs r0 = m.now();
+    cp.restore(0);
+    const SimNs restore = m.now() - r0;
+
+    Table pieces({"Quantity", "Measured (ms)", "Paper (ms)"});
+    pieces.addRow({"10 training iterations",
+                   Table::num(toMs(compute10), 3), "8.260"});
+    pieces.addRow({"gpmcp_checkpoint", Table::num(toMs(ckpt), 3),
+                   "0.221"});
+    pieces.addRow({"gpmcp_restore", Table::num(toMs(restore), 3),
+                   "0.342"});
+    report("DNN checkpoint piece costs on GPM (section 6.1)", pieces);
+
+    Table freq({"Checkpoint every", "CAP-fs (ms)", "GPM (ms)",
+                "Total-time improvement"});
+    for (const std::uint32_t every : {10u, 20u}) {
+        const SimNs cap = totalTime(cfg, PlatformKind::CapFs, every);
+        const SimNs gpm = totalTime(cfg, PlatformKind::Gpm, every);
+        freq.addRow({std::to_string(every) + " iterations",
+                     Table::num(toMs(cap)), Table::num(toMs(gpm)),
+                     Table::num(100.0 * (cap - gpm) / gpm, 1) + "%"});
+    }
+    report("DNN total time vs checkpoint frequency", freq);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 4: write amplification of CAP over GPM — extraneous bytes
+ * persisted because CAP cannot address updates at byte granularity
+ * from the GPU.
+ *
+ * Paper: gpKVS 39.38x, gpDB (I) 1.27x, gpDB (U) 19.88x, all
+ * checkpointing and native workloads 1.00x.
+ */
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Class", "Workload", "GPM persisted (MiB)",
+                 "CAP persisted (MiB)", "WA"});
+
+    for (const Bench b : kAllBenches) {
+        const WorkloadResult g = runBench(b, PlatformKind::Gpm, cfg);
+        const WorkloadResult c = runBench(b, PlatformKind::CapMm, cfg);
+        const double mib = 1024.0 * 1024.0;
+        table.addRow(
+            {benchClass(b), benchName(b),
+             Table::num(g.persisted_payload / mib),
+             Table::num(c.persisted_payload / mib),
+             Table::num(static_cast<double>(c.persisted_payload) /
+                        static_cast<double>(g.persisted_payload)) +
+                 "x"});
+    }
+    report("Table 4: write amplification of CAP over GPM", table);
+    return 0;
+}

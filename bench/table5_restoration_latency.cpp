@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 5: restoration latency — the time to run the recovery kernel
+ * (or checkpoint restore) after a crash, as a percentage of the
+ * workload's operation time. Worst case: the crash lands just before
+ * the transaction commits.
+ *
+ * Paper: gpKVS 18.96 %, gpKVS (95:5) 10.43 %, gpDB (I) 0.01 %,
+ * gpDB (U) ~19 %, DNN 0.12 %, CFD 0.30 %, BLK 0.80 %, HS 1.65 %.
+ * Native workloads have no separate recovery kernel and are skipped.
+ * Checkpointing workloads run a long training/solver schedule here —
+ * restoration latency is only meaningful against a realistic
+ * operation window.
+ */
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "harness/experiments.hpp"
+#include "workloads/iterative.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+std::unique_ptr<IterativeApp>
+makeApp(Bench b)
+{
+    switch (b) {
+      case Bench::Dnn:
+        return std::make_unique<DnnApp>(dnnParams());
+      case Bench::Cfd:
+        return std::make_unique<CfdApp>(cfdParams());
+      case Bench::Blk:
+        return std::make_unique<BlackScholesApp>(blkParams());
+      default:
+        return std::make_unique<HotspotApp>(hotspotParams());
+    }
+}
+
+/** Long operation window for the checkpointing workloads. */
+IterativeParams
+longSchedule(Bench b)
+{
+    IterativeParams p;
+    p.checkpoint_every = 10;
+    p.iterations = b == Bench::Dnn ? 100 : 200;  // DNN math is costly
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    SimConfig cfg;
+    Table table({"Class", "Workload", "Operation (ms)",
+                 "Restoration (ms)", "RL (%)"});
+
+    auto add = [&](Bench b, SimNs op_ns, SimNs recovery_ns) {
+        table.addRow({benchClass(b), benchName(b),
+                      Table::num(toMs(op_ns)),
+                      Table::num(toMs(recovery_ns), 3),
+                      Table::num(100.0 * recovery_ns / op_ns)});
+    };
+
+    for (const Bench b : {Bench::Kvs, Bench::Kvs95, Bench::DbInsert,
+                          Bench::DbUpdate}) {
+        const WorkloadResult clean = runBench(b, PlatformKind::Gpm,
+                                              cfg);
+        const WorkloadResult crash = runBenchWithCrash(b, cfg);
+        GPM_REQUIRE(crash.verified, benchName(b),
+                    " failed to recover");
+        add(b, clean.op_ns, crash.recovery_ns);
+    }
+
+    for (const Bench b :
+         {Bench::Dnn, Bench::Cfd, Bench::Blk, Bench::Hotspot}) {
+        const IterativeParams sched = longSchedule(b);
+        SimNs clean_ns = 0;
+        {
+            Machine m(cfg, PlatformKind::Gpm, pmCapacity());
+            clean_ns = makeApp(b)->run(m, sched).op_ns;
+        }
+        Machine m(cfg, PlatformKind::Gpm, pmCapacity());
+        auto app = makeApp(b);
+        const WorkloadResult crash = app->runWithCrashRestore(
+            m, sched, sched.iterations - 7, /*in_checkpoint=*/false,
+            0.0);
+        GPM_REQUIRE(crash.verified, benchName(b),
+                    " failed to recover");
+        add(b, clean_ns, crash.recovery_ns);
+    }
+
+    report("Table 5: restoration latency under GPM (worst case)",
+           table);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fault-tolerant DNN training with libGPM checkpointing (Figure 7).
+ *
+ * Trains the MLP while checkpointing weights+biases every 5 passes,
+ * kills the machine mid-training (during a checkpoint, even), then
+ * reopens the checkpoint, restores, resumes, and shows the loss curve
+ * picking up where the last consistent checkpoint left off.
+ */
+#include <cstdio>
+
+#include "workloads/dnn.hpp"
+
+using namespace gpm;
+
+int
+main()
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB, 7);
+
+    DnnApp app{DnnParams{}};
+    app.init();
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "weights.cp",
+                                             app.stateBytes(), 8, 1);
+    app.registerState(cp);
+
+    std::printf("training with a checkpoint every 5 passes...\n");
+    for (std::uint32_t iter = 0; iter < 12; ++iter) {
+        app.computeIteration(m, iter);
+        std::printf("  iter %2u  loss %.4f\n", iter, app.lastLoss());
+        if ((iter + 1) % 5 == 0) {
+            cp.checkpoint(0);
+            std::printf("  -- checkpoint #%u written\n",
+                        cp.sequence(0));
+        }
+    }
+
+    std::printf("power failure during the next checkpoint!\n");
+    app.computeIteration(m, 12);
+    cp.armCrashNextCheckpoint(0.5);
+    try {
+        cp.checkpoint(0);
+    } catch (const KernelCrashed &) {
+    }
+    m.pool().crash(/*survive_prob=*/0.4);
+
+    // Reboot: reopen, re-register in the same order, restore.
+    GpmCheckpoint reopened = GpmCheckpoint::open(m, "weights.cp");
+    app.init();  // volatile state is gone
+    app.registerState(reopened);
+    reopened.restore(0);
+    const std::uint32_t resume = reopened.sequence(0) * 5;
+    std::printf("restored checkpoint #%u -> resuming at iter %u\n",
+                reopened.sequence(0), resume);
+
+    for (std::uint32_t iter = resume; iter < 20; ++iter) {
+        app.computeIteration(m, iter);
+        std::printf("  iter %2u  loss %.4f\n", iter, app.lastLoss());
+        if ((iter + 1) % 5 == 0)
+            reopened.checkpoint(0);
+    }
+    std::printf("final training-set accuracy: %.1f %%\n",
+                100.0 * app.accuracy());
+    return 0;
+}

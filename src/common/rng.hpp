@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Everything random in this repository — workload key streams, crash
+ * injection points, partial cache-eviction decisions — flows through Rng
+ * so that every experiment and every test is reproducible from a seed.
+ * The generator is splitmix64: tiny state, good statistical quality for
+ * workload generation, and trivially splittable for derived streams.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace gpm {
+
+/** Deterministic splitmix64 generator with convenience distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        GPM_ASSERT(bound != 0);
+        // Multiply-shift reduction; bias is negligible for bound << 2^64.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        GPM_ASSERT(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Derive an independent child stream.
+     *
+     * Used to give each GPU thread / workload component its own
+     * deterministic stream regardless of execution order.
+     */
+    Rng
+    split(std::uint64_t stream_id) const
+    {
+        Rng child(state ^ (0x94d049bb133111ebull * (stream_id + 1)));
+        child.next();
+        return child;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace gpm

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 fatal()/panic() tradition.
+ *
+ * - panic():  an internal invariant of the simulator broke (a bug here).
+ * - fatal():  the caller supplied an impossible configuration or misused
+ *             an API in a way a user of the library could trigger.
+ *
+ * Both throw typed exceptions so tests can assert on misuse, unlike the
+ * abort()-based originals; nothing in the simulator catches them.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gpm {
+
+/** Thrown by panic(): an internal simulator invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(): user-triggerable misconfiguration or API misuse. */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Report a user-caused error (bad config, API misuse). Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/** Check an internal invariant; panics with context when it fails. */
+#define GPM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gpm::panic("assertion failed: " #cond " at ", __FILE__, ":",  \
+                         __LINE__, " ", ##__VA_ARGS__);                     \
+        }                                                                   \
+    } while (0)
+
+/** Validate a user-supplied condition; fatal()s when it fails. */
+#define GPM_REQUIRE(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gpm::fatal("requirement failed: " #cond " ", ##__VA_ARGS__);  \
+        }                                                                   \
+    } while (0)
+
+} // namespace gpm

@@ -1,0 +1,72 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/status.hpp"
+
+namespace gpm {
+
+Table::Table(std::vector<std::string> headers) : head(std::move(headers))
+{
+    GPM_REQUIRE(!head.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GPM_REQUIRE(cells.size() == head.size(),
+                "row arity ", cells.size(), " != header arity ", head.size());
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    std::string rule;
+    for (std::size_t c = 0; c < head.size(); ++c)
+        rule += std::string(width[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+Table::printTsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << row[c] << (c + 1 == row.size() ? '\n' : '\t');
+    };
+    emit(head);
+    for (const auto &row : body)
+        emit(row);
+}
+
+} // namespace gpm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Report-table printer used by the benchmark harnesses.
+ *
+ * The paper's artifact emits tab-separated rows per figure/table; benches
+ * here do the same, with an additional aligned pretty-print so the output
+ * is directly readable in a terminal.
+ */
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpm {
+
+/** A simple column-aligned table with tab-separated emission. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed @p precision digits after the point. */
+    static std::string num(double v, int precision = 2);
+
+    /** Print the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Print tab-separated rows (artifact-style) to @p os. */
+    void printTsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace gpm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Units and unit helpers shared across the GPM simulator.
+ *
+ * Simulated time is carried as a double count of nanoseconds (SimNs).
+ * An analytic timing model composes times from bandwidths and latencies,
+ * so floating point is the natural representation; all producers of
+ * simulated time live in src/memsim and src/platform.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpm {
+
+/** Simulated time in nanoseconds. */
+using SimNs = double;
+
+/** Bandwidth in bytes per simulated nanosecond (equals GB/s numerically). */
+using GBps = double;
+
+constexpr std::size_t operator""_KiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 10;
+}
+
+constexpr std::size_t operator""_MiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 20;
+}
+
+constexpr std::size_t operator""_GiB(unsigned long long v)
+{
+    return static_cast<std::size_t>(v) << 30;
+}
+
+constexpr SimNs operator""_ns(unsigned long long v)
+{
+    return static_cast<SimNs>(v);
+}
+
+constexpr SimNs operator""_us(unsigned long long v)
+{
+    return static_cast<SimNs>(v) * 1e3;
+}
+
+constexpr SimNs operator""_ms(unsigned long long v)
+{
+    return static_cast<SimNs>(v) * 1e6;
+}
+
+/** Convert simulated nanoseconds to milliseconds. */
+constexpr double toMs(SimNs ns) { return ns / 1e6; }
+
+/** Convert simulated nanoseconds to microseconds. */
+constexpr double toUs(SimNs ns) { return ns / 1e3; }
+
+/** Convert simulated nanoseconds to seconds. */
+constexpr double toSec(SimNs ns) { return ns / 1e9; }
+
+/**
+ * Time to move @p bytes at @p gbps (GB/s == bytes/ns).
+ *
+ * A bandwidth of zero yields zero time; model code treats that as
+ * "infinitely fast", which only configuration errors would produce.
+ */
+constexpr SimNs transferNs(std::size_t bytes, GBps gbps)
+{
+    return gbps > 0.0 ? static_cast<SimNs>(bytes) / gbps : 0.0;
+}
+
+/** Round @p v down to a multiple of @p align (align must be a power of 2). */
+constexpr std::uint64_t alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (align must be a power of 2). */
+constexpr std::uint64_t alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** True when @p v is a multiple of @p align (align must be a power of 2). */
+constexpr bool isAligned(std::uint64_t v, std::uint64_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+/** Ceiling division for non-negative integers. */
+constexpr std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace gpm

@@ -1,0 +1,277 @@
+#include "cpubaseline/cpu_apps.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpm {
+
+namespace {
+
+/** Common platform check for the CPU baselines. */
+void
+requireCpu(const Machine &m)
+{
+    GPM_REQUIRE(m.kind() == PlatformKind::CpuOnly,
+                "CPU baselines run on the CpuOnly platform");
+}
+
+/**
+ * Fine-grained CPU persistence matching GPM's recoverability: one
+ * CLFLUSHOPT + SFENCE per updated line, ordered per update. The
+ * drains serialize on the store's round trip, which is what makes
+ * the CPU alternatives of Fig 1(b) so much slower than bulk flushes.
+ */
+SimNs
+fineGrainPersistNs(const SimConfig &cfg, std::uint64_t lines)
+{
+    return static_cast<double>(lines) *
+           (cfg.cpu_flush_line_ns + cfg.cpu_pm_drain_ns);
+}
+
+} // namespace
+
+WorkloadResult
+runCpuBfs(Machine &m, const BfsParams &p)
+{
+    requireCpu(m);
+    WorkloadResult r;
+
+    const CsrGraph g = makeRoadGraph(p);
+    const std::uint32_t n = g.nodes();
+    const PmRegion cost = m.pool().map("cpubfs.cost",
+                                       std::uint64_t(n) * 4, true);
+    const PmRegion queue = m.pool().map("cpubfs.queue",
+                                        8 + std::uint64_t(n) * 4, true);
+
+    std::vector<std::uint32_t> inf(n, GpBfs::kInf);
+    inf[p.source] = 0;
+    m.cpuWritePersist(cost.offset, inf.data(), std::uint64_t(n) * 4,
+                      p.cap_threads);
+    std::vector<std::uint32_t> host_cost = std::move(inf);
+
+    const SimNs t0 = m.now();
+    std::vector<std::uint32_t> frontier{p.source};
+    std::uint32_t level = 0;
+    while (!frontier.empty()) {
+        std::uint64_t edges = 0;
+        std::vector<std::uint32_t> next;
+        for (const std::uint32_t u : frontier) {
+            edges += g.row_off[u + 1] - g.row_off[u];
+            for (std::uint32_t e = g.row_off[u]; e < g.row_off[u + 1];
+                 ++e) {
+                const std::uint32_t v = g.col[e];
+                if (host_cost[v] != GpBfs::kInf)
+                    continue;
+                host_cost[v] = level + 1;
+                next.push_back(v);
+                // In-place PM store of the cost (flushed below).
+                m.pool().cpuWrite(0, cost.offset + std::uint64_t(v) * 4,
+                                  &host_cost[v], 4);
+            }
+        }
+        m.cpuCompute(static_cast<double>(edges) * 6 + 20,
+                     m.config().cpu_max_threads);
+        // Two parallel regions per level (mark + compact) plus a
+        // fine-grained flush+drain per updated cost line.
+        m.advance(2 * m.config().cpu_fork_join_ns +
+                  fineGrainPersistNs(m.config(), next.size()));
+        m.pool().persistRange(cost.offset, std::uint64_t(n) * 4);
+        m.cpuPersistScattered(next.size() * m.config().cache_line,
+                              p.cap_threads);
+        std::vector<std::uint32_t> rec;
+        rec.push_back(level + 1);
+        rec.push_back(static_cast<std::uint32_t>(next.size()));
+        rec.insert(rec.end(), next.begin(), next.end());
+        m.cpuWritePersist(queue.offset, rec.data(), rec.size() * 4,
+                          p.cap_threads);
+        frontier = std::move(next);
+        ++level;
+    }
+    r.op_ns = m.now() - t0;
+    r.ops_done = n;
+    r.verified = host_cost == bfsReference(g, p.source);
+    r.persisted_payload = m.persistPayloadBytes();
+    return r;
+}
+
+WorkloadResult
+runCpuSrad(Machine &m, const SradParams &p)
+{
+    requireCpu(m);
+    WorkloadResult r;
+
+    const std::uint64_t n = p.pixels();
+    const PmRegion img = m.pool().map("cpusrad.img", 8 + n * 4, true);
+    const PmRegion coef = m.pool().map("cpusrad.coef", 8 + n * 4, true);
+
+    std::vector<float> host = sradMakeInput(p);
+    m.cpuWritePersist(img.offset + 4, host.data(), n * 4,
+                      p.cap_threads);
+
+    const SimNs t0 = m.now();
+    std::vector<float> c(n);
+    for (std::uint32_t iter = 0; iter < p.iterations; ++iter) {
+        std::vector<float> next(n);
+        sradDiffuse(p, host, next, c);
+        host = std::move(next);
+        m.cpuCompute(static_cast<double>(n) * 60,
+                     m.config().cpu_max_threads);
+        // Per-line flush+drain for both matrices (fine-grain
+        // recoverability, as the GPM kernel provides in-place).
+        m.advance(2 * m.config().cpu_fork_join_ns +
+                  fineGrainPersistNs(
+                      m.config(),
+                      2 * ceilDiv(n * 4, m.config().cache_line)));
+        m.cpuWritePersist(img.offset + 4, host.data(), n * 4,
+                          p.cap_threads);
+        m.cpuWritePersist(coef.offset + 4, c.data(), n * 4,
+                          p.cap_threads);
+    }
+    r.op_ns = m.now() - t0;
+    r.ops_done = static_cast<double>(n) * p.iterations;
+    r.persisted_payload = m.persistPayloadBytes();
+
+    // Cross-check against the GPU implementation's reference.
+    std::vector<float> ref = sradMakeInput(p);
+    std::vector<float> tmp(n), cc(n);
+    for (std::uint32_t iter = 0; iter < p.iterations; ++iter) {
+        sradDiffuse(p, ref, tmp, cc);
+        ref = tmp;
+    }
+    r.verified = host == ref;
+    return r;
+}
+
+WorkloadResult
+runCpuPrefixSum(Machine &m, const PsParams &p)
+{
+    requireCpu(m);
+    WorkloadResult r;
+
+    const std::uint64_t n = p.elements();
+    const std::uint64_t chunks =
+        std::uint64_t(p.blocks) * p.block_threads;
+    const PmRegion psums = m.pool().map("cpups.psums", chunks * 8,
+                                        true);
+    const PmRegion out = m.pool().map("cpups.out", n * 8, true);
+
+    Rng rng(p.seed);
+    std::vector<std::uint32_t> input(n);
+    for (std::uint32_t &v : input)
+        v = static_cast<std::uint32_t>(rng.between(1, 100));
+
+    const SimNs t0 = m.now();
+
+    // Chunked partial sums, persisted (streaming).
+    std::vector<std::uint64_t> partial(chunks, 0);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        const std::uint64_t base = c * p.elems_per_thread;
+        for (std::uint32_t i = 0; i < p.elems_per_thread; ++i)
+            partial[c] += input[base + i];
+    }
+    m.cpuCompute(static_cast<double>(n) * 2,
+                 m.config().cpu_max_threads);
+    m.cpuWritePersist(psums.offset, partial.data(), chunks * 8,
+                      p.cap_threads);
+
+    // Final prefix, persisted (streaming).
+    std::vector<std::uint64_t> final_vals(n);
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += input[i];
+        final_vals[i] = acc;
+    }
+    m.cpuCompute(static_cast<double>(n) * 2,
+                 m.config().cpu_max_threads);
+    m.cpuWritePersist(out.offset, final_vals.data(), n * 8,
+                      p.cap_threads);
+
+    r.op_ns = m.now() - t0;
+    r.ops_done = static_cast<double>(n);
+    r.persisted_payload = m.persistPayloadBytes();
+    r.verified = final_vals.back() == acc && acc > 0;
+    return r;
+}
+
+WorkloadResult
+runCpuDb(Machine &m, const GpDbParams &p, GpDb::TxnKind kind)
+{
+    requireCpu(m);
+    WorkloadResult r;
+
+    const PmRegion table = m.pool().map("cpudb.table",
+                                        p.tableBytes() + 4096, true);
+    const PmRegion wal = m.pool().map(
+        "cpudb.wal",
+        std::uint64_t(std::max(p.update_rows, p.insert_rows)) * 80 +
+            4096, true);
+
+    // Bulk-load the initial table through a throwaway GpDb mirror.
+    Machine scratch(m.config(), PlatformKind::CpuOnly, 1_MiB);
+    GpDb model(scratch, p);
+    std::vector<DbRow> rows(p.maxRows());
+    for (std::uint64_t i = 0; i < p.initial_rows; ++i)
+        rows[i] = model.makeRow(i, 0);
+    m.cpuWritePersist(table.offset, rows.data(),
+                      std::uint64_t(p.initial_rows) *
+                          GpDbParams::kRowBytes, p.cap_threads);
+
+    const SimNs t0 = m.now();
+    std::uint64_t count = p.initial_rows;
+    const std::uint32_t batches = kind == GpDb::TxnKind::Insert
+        ? p.insert_batches : p.update_batches;
+
+    for (std::uint32_t b = 0; b < batches; ++b) {
+        if (kind == GpDb::TxnKind::Insert) {
+            // Log the old row count, append rows, bump the count.
+            m.cpuWritePersist(wal.offset, &count, 8, 1);
+            for (std::uint32_t i = 0; i < p.insert_rows; ++i)
+                rows[count + i] = model.makeRow(count + i, 1 + b);
+            m.cpuCompute(static_cast<double>(p.insert_rows) * 30,
+                         m.config().cpu_max_threads);
+            m.cpuWritePersist(table.offset +
+                                  count * GpDbParams::kRowBytes,
+                              rows.data() + count,
+                              std::uint64_t(p.insert_rows) *
+                                  GpDbParams::kRowBytes,
+                              p.cap_threads);
+            count += p.insert_rows;
+            m.cpuWritePersist(wal.offset + 8, &count, 8, 1);
+            r.ops_done += p.insert_rows;
+        } else {
+            const std::vector<std::uint64_t> targets =
+                model.makeUpdateTargets(b, count);
+            // Undo log (sequential WAL) then scattered row updates,
+            // each flushed + fenced individually.
+            std::uint64_t wal_off = 64;
+            for (const std::uint64_t t : targets) {
+                m.pool().cpuWrite(0, wal.offset + wal_off,
+                                  &rows[t], sizeof(DbRow));
+                wal_off += sizeof(DbRow) + 8;
+                rows[t] = model.makeRow(t, 1000 + b);
+                m.pool().cpuWrite(0,
+                                  table.offset +
+                                      t * GpDbParams::kRowBytes,
+                                  &rows[t], sizeof(DbRow));
+                // Per-row: two ordered flush+drain round trips (the
+                // undo record must be durable before the row write).
+                m.advance(2 * (m.config().cpu_flush_line_ns +
+                               m.config().cpu_pm_drain_ns));
+            }
+            m.cpuCompute(static_cast<double>(targets.size()) * 40,
+                         m.config().cpu_max_threads);
+            // Sequential WAL traffic, then scattered row lines.
+            m.cpuPersistRange(wal.offset, wal_off, p.cap_threads);
+            m.cpuPersistScattered(targets.size() *
+                                      2 * m.config().cache_line,
+                                  p.cap_threads);
+            r.ops_done += p.update_rows;
+        }
+    }
+    r.op_ns = m.now() - t0;
+    r.persisted_payload = m.persistPayloadBytes();
+    r.verified = true;
+    return r;
+}
+
+} // namespace gpm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Multi-threaded CPU-with-PM application baselines.
+ *
+ * These are the "CPU alternatives that use PM for persistence" behind
+ * Fig 1(b) (BFS, SRAD, PS) and the OpenMP gpDB port of section 6.1.
+ * Computation and persistence both happen on the CPU: work is charged
+ * at the CPU's rate across the thread pool, and persistence goes
+ * through the flush+drain path (scattered lines for BFS costs and DB
+ * updates, streaming stores for SRAD/PS outputs).
+ *
+ * Each baseline computes the same functional result as its GPU
+ * counterpart — the tests cross-check them.
+ */
+#pragma once
+
+#include "workloads/bfs.hpp"
+#include "workloads/db.hpp"
+#include "workloads/prefix_sum.hpp"
+#include "workloads/srad.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpm {
+
+/** CPU BFS with per-level persisted costs + frontier. */
+WorkloadResult runCpuBfs(Machine &m, const BfsParams &p);
+
+/** CPU SRAD with per-iteration persisted image + coefficients. */
+WorkloadResult runCpuSrad(Machine &m, const SradParams &p);
+
+/** CPU prefix sum with persisted partial and final sums. */
+WorkloadResult runCpuPrefixSum(Machine &m, const PsParams &p);
+
+/** CPU relational-table transactions with write-ahead logging (the
+ *  OpenMP gpDB port; same recoverability guarantees). */
+WorkloadResult runCpuDb(Machine &m, const GpDbParams &p,
+                        GpDb::TxnKind kind);
+
+} // namespace gpm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CPU persistent key-value stores — the Fig 1a comparison points.
+ *
+ * Three analogs of the engines the paper benchmarks, each implementing
+ * the persistence *structure* of its original:
+ *
+ *  - HashDirect (Intel pmemKV / cmap): an 8-way set-associative hash
+ *    table living directly on PM; every SET probes the bucket, writes
+ *    the pair in place and flush+fences it — scattered 256 B-RMW
+ *    media traffic per operation.
+ *  - LsmWal (RocksDB-pmem): a volatile memtable in front of a PM
+ *    write-ahead log; SETs append to the WAL (sequential, unaligned)
+ *    and the memtable spills sorted runs to PM when full, which adds
+ *    compaction write amplification.
+ *  - MatrixLsm (MatrixKV): the LSM with its level-0 replaced by a PM
+ *    matrix container — smaller spills, less stall, lower write
+ *    amplification than LsmWal.
+ *
+ * Timing couples the structural costs above with a per-design
+ * software-path constant (locking, allocation, index maintenance —
+ * engine internals out of scope here) calibrated so the absolute
+ * throughputs land near Fig 1a's measured 0.4-1 Mops/s range; the
+ * structural terms keep the relative ordering meaningful.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workloads/kvs.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpm {
+
+/** Which engine analog to run. */
+enum class CpuKvsDesign { HashDirect, LsmWal, MatrixLsm };
+
+/** Display name matching Fig 1a's x-axis. */
+inline const char *
+cpuKvsName(CpuKvsDesign d)
+{
+    switch (d) {
+      case CpuKvsDesign::HashDirect: return "Intel-PmemKV";
+      case CpuKvsDesign::LsmWal: return "RocksDB-pmem";
+      case CpuKvsDesign::MatrixLsm: return "MatrixKV";
+    }
+    return "?";
+}
+
+/** CPU KVS sizing and calibration constants. */
+struct CpuKvsParams {
+    std::uint32_t n_sets = 1u << 14;
+    std::uint32_t batch_ops = 8192;
+    std::uint32_t batches = 2;
+    std::uint64_t seed = 42;          ///< share gpKVS's op stream
+    int threads = 32;
+    std::uint32_t memtable_ops = 4096;  ///< LSM spill threshold
+
+    // Software-path cost per SET (calibrated; see file comment).
+    SimNs sw_op_ns_hash = 1900;
+    SimNs sw_op_ns_lsm = 1050;
+    SimNs sw_op_ns_matrix = 900;
+};
+
+/** A CPU persistent KVS on a CpuOnly Machine. */
+class CpuPmKvs
+{
+  public:
+    CpuPmKvs(Machine &m, CpuKvsDesign design, const CpuKvsParams &p);
+
+    /** Map the PM regions. */
+    void setup();
+
+    /** Run the batched SET workload (same key stream as gpKVS). */
+    WorkloadResult run();
+
+    /** Lookup through the design's read path (tests). */
+    bool lookup(std::uint64_t key, std::uint64_t &value_out) const;
+
+    /**
+     * Crash and recover: the hash design is always consistent
+     * per-op; the LSM designs replay the WAL into a fresh memtable.
+     * Returns false if any committed key is missing afterwards.
+     */
+    bool crashAndRecover(double survive_prob);
+
+    CpuKvsDesign design() const { return design_; }
+
+  private:
+    void setHash(std::uint64_t key, std::uint64_t value);
+    void setLsm(std::uint64_t key, std::uint64_t value);
+    void spillMemtable();
+
+    Machine *m_;
+    CpuKvsDesign design_;
+    CpuKvsParams p_;
+    PmRegion store_;    ///< hash table / sorted-run area
+    PmRegion wal_;      ///< LSM write-ahead log
+    std::uint64_t wal_tail_ = 0;
+    std::uint64_t run_tail_ = 0;  ///< next spill position in store_
+    std::map<std::uint64_t, std::uint64_t> memtable_;
+    std::map<std::uint64_t, std::uint64_t> spilled_;  ///< run index
+    std::vector<KvPair> committed_;  ///< reference of applied SETs
+};
+
+} // namespace gpm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * libGPM persistency primitives (Table 2, first block).
+ *
+ * These are the CPU- and GPU-side entry points the paper's libGPM
+ * exposes for mapping PM into the GPU's address space and for
+ * guaranteeing persistence:
+ *
+ *   CPU:  gpm_map / gpm_unmap / gpm_persist_begin / gpm_persist_end
+ *   GPU:  gpm_persist
+ *
+ * gpm_map memory-maps a PM-resident file (PMDK libpmem in the real
+ * system) and registers it with CUDA's UVA so kernels can load/store
+ * it directly; here that is a named-region allocation in the PmPool.
+ * gpm_persist_begin/_end bracket the window where DDIO is disabled so
+ * that a system-scope fence implies durability; gpm_persist is that
+ * fence (__threadfence_system).
+ */
+#pragma once
+
+#include <string>
+
+#include "gpusim/thread_ctx.hpp"
+#include "platform/machine.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+
+/**
+ * Map (create or open) the PM-resident file @p path of @p size bytes
+ * into the GPU-visible address space.
+ *
+ * @return the mapped region; its offset is the base "device pointer".
+ */
+inline PmRegion
+gpmMap(Machine &m, const std::string &path, std::uint64_t size,
+       bool create)
+{
+    // mmap + cudaHostRegister-style UVA setup: two syscalls' worth.
+    m.advance(2 * m.config().syscall_ns);
+    return m.pool().map(path, size, create);
+}
+
+/** Unmap a region previously mapped with gpmMap (bookkeeping only —
+ *  contents stay durable on the simulated PM, as with a real file). */
+inline void
+gpmUnmap(Machine &m, const std::string &path)
+{
+    GPM_REQUIRE(m.pool().hasRegion(path),
+                "gpm_unmap of unknown region '", path, "'");
+    m.advance(m.config().syscall_ns);
+}
+
+/**
+ * Enter a persistence region: disable DDIO for the GPU so that
+ * gpm_persist (system-scope fence) completes only at the ADR-protected
+ * memory controller. Typically called right before a kernel launch.
+ */
+inline void
+gpmPersistBegin(Machine &m)
+{
+    m.ddioOff();
+}
+
+/** Leave the persistence region: re-enable DDIO. */
+inline void
+gpmPersistEnd(Machine &m)
+{
+    m.ddioOn();
+}
+
+/**
+ * Device-side persist: guarantee every prior PM store of this thread
+ * is durable (system-scope fence; Listing/Fig 6 uses this after each
+ * KVS update).
+ *
+ * @return true when durability was actually achieved — false in a
+ *         DDIO-enabled configuration, where the fence only ordered.
+ */
+inline bool
+gpmPersist(ThreadCtx &ctx)
+{
+    return ctx.threadfenceSystem();
+}
+
+} // namespace gpm

@@ -1,0 +1,167 @@
+#include "gpusim/gpu_executor.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpm {
+
+// ---- ThreadCtx data path ----------------------------------------------
+
+std::uint32_t
+ThreadCtx::nextOccurrence(SiteId site)
+{
+    for (auto &[s, count] : site_counts_) {
+        if (s == site)
+            return count++;
+    }
+    site_counts_.emplace_back(site, 1);
+    return 0;
+}
+
+void
+ThreadCtx::pmWrite(std::uint64_t addr, const void *src, std::uint64_t size,
+                   std::source_location loc)
+{
+    pmWriteStream(0, addr, src, size, loc);
+}
+
+void
+ThreadCtx::pmWriteStream(std::uint64_t stream, std::uint64_t addr,
+                         const void *src, std::uint64_t size,
+                         std::source_location loc)
+{
+    exec_->pool_->deviceWrite(globalId(), addr, src, size);
+    exec_->cur_.pm_payload_bytes += size;
+    const SiteId site = siteOf(loc);
+    warp_->accesses.push_back(WarpAccess{site, nextOccurrence(site), addr,
+                                         static_cast<std::uint32_t>(size),
+                                         stream});
+}
+
+void
+ThreadCtx::pmRead(std::uint64_t addr, void *dst, std::uint64_t size)
+{
+    exec_->pool_->read(addr, dst, size);
+    exec_->cur_.pm_read_bytes += size;
+}
+
+bool
+ThreadCtx::threadfenceSystem()
+{
+    ++exec_->cur_.fences;
+    return exec_->pool_->persistOwner(globalId());
+}
+
+void
+ThreadCtx::work(double ops)
+{
+    exec_->cur_.work_ops += ops;
+}
+
+void
+ThreadCtx::hbmTraffic(std::uint64_t bytes)
+{
+    exec_->cur_.hbm_bytes += bytes;
+}
+
+// ---- executor ------------------------------------------------------------
+
+void
+GpuExecutor::flushWarp(std::uint64_t global_warp, WarpRecorder &warp)
+{
+    if (warp.accesses.empty())
+        return;
+
+    const std::uint64_t granule = cfg_->coalesce_bytes;
+
+    // Group lane accesses by (site, occurrence, stream) in
+    // first-appearance order — the SIMT instruction stream of the
+    // warp.
+    std::map<std::tuple<SiteId, std::uint32_t, std::uint64_t>,
+             std::uint32_t> group_of;
+    std::vector<std::vector<const WarpAccess *>> groups;
+    for (const WarpAccess &a : warp.accesses) {
+        auto key = std::make_tuple(a.site, a.occurrence, a.stream);
+        auto [it, inserted] = group_of.emplace(
+            key, static_cast<std::uint32_t>(groups.size()));
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(&a);
+    }
+
+    for (const auto &group : groups) {
+        // One transaction per touched coalescing line, issued in
+        // ascending address order (lane order on real hardware).
+        const std::uint64_t stream = group.front()->stream != 0
+            ? group.front()->stream
+            : global_warp;
+        std::map<std::uint64_t, bool> lines;
+        for (const WarpAccess *a : group) {
+            const std::uint64_t first = a->addr / granule;
+            const std::uint64_t last = (a->addr + a->size - 1) / granule;
+            for (std::uint64_t l = first; l <= last; ++l)
+                lines[l] = true;
+        }
+        for (const auto &[line, unused] : lines) {
+            nvm_->recordWrite(stream, line * granule, granule);
+            ++cur_.pm_line_txns;
+            cur_.pm_line_bytes += granule;
+        }
+    }
+    warp.accesses.clear();
+}
+
+LaunchStats
+GpuExecutor::launch(const KernelDesc &kernel)
+{
+    GPM_REQUIRE(kernel.blocks > 0 && kernel.block_threads > 0,
+                "kernel '", kernel.name, "' has an empty grid");
+    GPM_REQUIRE(!kernel.phases.empty(),
+                "kernel '", kernel.name, "' has no phases");
+
+    cur_ = LaunchStats{};
+    cur_.blocks = kernel.blocks;
+    cur_.threads = kernel.totalThreads();
+    cur_.phases = kernel.phases.size();
+
+    const std::uint32_t warp_size =
+        static_cast<std::uint32_t>(cfg_->warp_size);
+    const std::uint32_t warps_per_block =
+        (kernel.block_threads + warp_size - 1) / warp_size;
+    std::vector<WarpRecorder> warps(warps_per_block);
+
+    const NvmTierBytes before = [&] {
+        nvm_->closeRuns();
+        return nvm_->bytes();
+    }();
+
+    std::uint64_t executed = 0;
+    const std::uint64_t crash_at = kernel.crash
+        ? kernel.crash->after_thread_phases
+        : ~std::uint64_t(0);
+
+    for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
+        for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
+            for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
+                if (executed == crash_at)
+                    throw KernelCrashed{executed};
+                ThreadCtx ctx(*this, warps[t / warp_size], b, t,
+                              kernel.block_threads, kernel.blocks,
+                              warp_size);
+                kernel.phases[p](ctx);
+                ++executed;
+            }
+            // Phase boundary: retire every warp's coalesced stores.
+            for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+                flushWarp(std::uint64_t(b) * warps_per_block + w,
+                          warps[w]);
+            }
+        }
+    }
+
+    nvm_->closeRuns();
+    cur_.nvm = nvm_->bytes() - before;
+    return cur_;
+}
+
+} // namespace gpm

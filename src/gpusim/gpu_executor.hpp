@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Functional SIMT executor with warp-level write coalescing.
+ *
+ * Blocks execute in sequence and, within a block, each phase runs for
+ * every thread before the next phase starts (the __syncthreads model,
+ * see kernel.hpp). PM stores are buffered per warp during a phase and
+ * coalesced at the phase boundary: all lane accesses sharing a (call
+ * site, occurrence) are merged into one transaction per touched 128 B
+ * line — the GPU hardware coalescer HCL leans on (section 5.2). The
+ * resulting transaction stream feeds the Optane model keyed by warp,
+ * so per-warp contiguity (or its absence) determines the media tier.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+#include "gpusim/thread_ctx.hpp"
+#include "memsim/nvm_model.hpp"
+#include "memsim/sim_config.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+
+/** Aggregate accounting for one kernel launch. */
+struct LaunchStats {
+    std::uint64_t blocks = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t phases = 0;
+
+    double work_ops = 0;             ///< abstract ALU work (ctx.work)
+    std::uint64_t hbm_bytes = 0;     ///< device-memory traffic
+
+    std::uint64_t pm_payload_bytes = 0;  ///< bytes the program stored to PM
+    std::uint64_t pm_line_txns = 0;  ///< coalesced 128 B write transactions
+    std::uint64_t pm_line_bytes = 0; ///< pm_line_txns * coalesce granule
+    std::uint64_t pm_read_bytes = 0; ///< PM load payload
+
+    std::uint64_t fences = 0;        ///< system-scope fences executed
+    NvmTierBytes nvm;                ///< classified NVM write bytes
+
+    LaunchStats &
+    operator+=(const LaunchStats &o)
+    {
+        blocks += o.blocks;
+        threads += o.threads;
+        phases += o.phases;
+        work_ops += o.work_ops;
+        hbm_bytes += o.hbm_bytes;
+        pm_payload_bytes += o.pm_payload_bytes;
+        pm_line_txns += o.pm_line_txns;
+        pm_line_bytes += o.pm_line_bytes;
+        pm_read_bytes += o.pm_read_bytes;
+        fences += o.fences;
+        nvm += o.nvm;
+        return *this;
+    }
+};
+
+/** One raw PM store recorded by a thread before coalescing. */
+struct WarpAccess {
+    SiteId site;
+    std::uint32_t occurrence;
+    std::uint64_t addr;
+    std::uint32_t size;
+    std::uint64_t stream = 0;  ///< media-stream override (0 = warp)
+};
+
+/** Per-warp access buffer for the running phase. */
+struct WarpRecorder {
+    std::vector<WarpAccess> accesses;
+};
+
+/** The simulated GPU: executes kernels and accounts their traffic. */
+class GpuExecutor
+{
+  public:
+    /**
+     * @param cfg   Machine parameters (warp size, coalescing granule).
+     * @param pool  The PM device kernels load from / store to.
+     * @param nvm   Optane model receiving the coalesced write stream.
+     */
+    GpuExecutor(const SimConfig &cfg, PmPool &pool, NvmModel &nvm)
+        : cfg_(&cfg), pool_(&pool), nvm_(&nvm)
+    {
+    }
+
+    /**
+     * Run @p kernel to completion (or to its CrashPoint).
+     *
+     * @throws KernelCrashed when the kernel's crash point fires; PM
+     *         state then reflects the partial execution and the caller
+     *         decides when to invoke PmPool::crash().
+     */
+    LaunchStats launch(const KernelDesc &kernel);
+
+    const SimConfig &config() const { return *cfg_; }
+    PmPool &pool() { return *pool_; }
+
+  private:
+    friend class ThreadCtx;
+
+    /** Coalesce and retire one warp's phase accesses. */
+    void flushWarp(std::uint64_t global_warp, WarpRecorder &warp);
+
+    const SimConfig *cfg_;
+    PmPool *pool_;
+    NvmModel *nvm_;
+    LaunchStats cur_;
+};
+
+} // namespace gpm

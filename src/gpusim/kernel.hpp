@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Kernel description for the SIMT execution model.
+ *
+ * A kernel is a sequence of *phases*. The simulator executes phase k
+ * for every thread of a threadblock before any thread enters phase
+ * k+1 — which is exactly the semantics of CUDA's __syncthreads(). A
+ * CUDA kernel with no block-level barrier is a single phase; each
+ * __syncthreads() in the original code becomes a phase boundary (see
+ * the prefix-sum workload, which mirrors Figure 8 of the paper).
+ *
+ * Threads within a phase must not communicate through volatile shared
+ * state (they conceptually run concurrently); communication happens
+ * across phase boundaries, through PM, or through per-warp reductions
+ * computed redundantly per lane.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpm {
+
+class ThreadCtx;
+
+/** One barrier-delimited section of a kernel, run per thread. */
+using Phase = std::function<void(ThreadCtx &)>;
+
+/**
+ * Point at which a simulated crash (power failure) interrupts a
+ * launch: execution stops after @ref after_thread_phases individual
+ * (thread, phase) executions have completed. Sweeping this value over
+ * [0, blocks * threads * phases) visits every interleaving boundary
+ * the block-sequential executor can produce — the NVBitFI analog used
+ * by the recovery experiments (section 6.2).
+ */
+struct CrashPoint {
+    std::uint64_t after_thread_phases = 0;
+};
+
+/** A grid launch: geometry plus the phase list. */
+struct KernelDesc {
+    std::string name;               ///< for reports and diagnostics
+    std::uint32_t blocks = 1;       ///< threadblocks in the grid
+    std::uint32_t block_threads = 32;  ///< threads per block
+    std::vector<Phase> phases;      ///< barrier-delimited stages
+    std::optional<CrashPoint> crash;   ///< fault-injection point
+
+    /**
+     * True for iterations of a persistent kernel: the grid was
+     * launched once and loops on-device (cooperative-groups style),
+     * so per-iteration launch overhead is not charged. GPM's BFS runs
+     * this way — the paper credits its 85x over CAP-fs to avoiding
+     * exactly these per-iteration driver round trips.
+     */
+    bool no_launch_overhead = false;
+
+    std::uint64_t
+    totalThreads() const
+    {
+        return std::uint64_t(blocks) * block_threads;
+    }
+};
+
+/** Thrown by the executor when a CrashPoint fires mid-launch. */
+struct KernelCrashed {
+    std::uint64_t executed_thread_phases = 0;
+};
+
+} // namespace gpm

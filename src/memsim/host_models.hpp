@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Host-side cost models: CPU flush/drain persistence and the CAP-fs
+ * filesystem path.
+ *
+ * These are the two ways a GPU application can reach PM durability
+ * today (section 3 of the paper): CAP-mm persists with user-space
+ * CLFLUSHOPT + SFENCE from a pool of CPU threads, CAP-fs writes to a
+ * PM-resident ext4-DAX file and fsync()s.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "memsim/sim_config.hpp"
+
+namespace gpm {
+
+/** CPU flush+drain persistence (the CAP-mm path, Fig 3a). */
+class CpuPersistModel
+{
+  public:
+    explicit CpuPersistModel(const SimConfig &cfg) : cfg_(&cfg) {}
+
+    /**
+     * Time for @p threads CPU threads to flush and drain @p bytes that
+     * currently sit in the LLC (data arrived from the GPU, so
+     * non-temporal stores are not applicable — section 3, CAP-mm).
+     */
+    SimNs
+    persistTime(std::uint64_t bytes, int threads) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        return transferNs(bytes, cfg_->cpuPersistGbps(threads)) +
+               cfg_->cpu_sfence_ns;
+    }
+
+    /**
+     * Time for the CPU to copy @p bytes from DRAM into the PM-mapped
+     * region before flushing (the store half of CAP-mm's step 2).
+     */
+    SimNs
+    copyTime(std::uint64_t bytes) const
+    {
+        return transferNs(bytes, cfg_->dram_gbps);
+    }
+
+  private:
+    const SimConfig *cfg_;
+};
+
+/** ext4-DAX filesystem write+fsync path (CAP-fs). */
+class FsModel
+{
+  public:
+    explicit FsModel(const SimConfig &cfg) : cfg_(&cfg) {}
+
+    /**
+     * Time for write(2) of @p bytes into a DAX file followed by
+     * fsync(2). Bytes are charged at filesystem-block granularity and
+     * expanded by the journal factor; each call pays syscall entry.
+     *
+     * @param bytes  Payload size.
+     * @param calls  Number of write() invocations used.
+     */
+    SimNs
+    writeFsyncTime(std::uint64_t bytes, std::uint64_t calls) const
+    {
+        if (bytes == 0)
+            return 0.0;
+        const std::uint64_t blocked =
+            alignUp(bytes, cfg_->fs_block_bytes);
+        const double expanded =
+            static_cast<double>(blocked) * cfg_->fs_journal_factor;
+        return static_cast<double>(calls) * cfg_->syscall_ns +
+               expanded / cfg_->fs_write_gbps + cfg_->fsync_ns;
+    }
+
+  private:
+    const SimConfig *cfg_;
+};
+
+} // namespace gpm

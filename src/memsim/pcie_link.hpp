@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PCIe 3.0 x16 interconnect model.
+ *
+ * Two behaviours matter for GPM (section 3.2):
+ *
+ *  1. Bulk transfers (DMA, streaming kernel writes) move at the link's
+ *     achievable bandwidth (~13 GB/s, the "Max PCIe BW" line of Fig 12).
+ *  2. Small persist operations — a write followed by a system-scope
+ *     fence that must round-trip to the host — are latency-bound, and
+ *     the GPU can only keep a limited number of non-posted operations
+ *     in flight. That bound is why Fig 3(b)'s persist scaling plateaus
+ *     around 1-2 K threads instead of scaling with all 100 K+ threads.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "memsim/sim_config.hpp"
+
+namespace gpm {
+
+/** Latency/bandwidth/concurrency model of the host<->GPU interconnect. */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const SimConfig &cfg) : cfg_(&cfg) {}
+
+    /** Time for one bulk transfer of @p bytes (no DMA setup cost). */
+    SimNs
+    bulkTime(std::uint64_t bytes) const
+    {
+        return transferNs(bytes, cfg_->pcie_gbps);
+    }
+
+    /** Time for a driver-initiated DMA of @p bytes, incl. engine setup. */
+    SimNs
+    dmaTime(std::uint64_t bytes) const
+    {
+        return cfg_->dma_init_ns + bulkTime(bytes);
+    }
+
+    /**
+     * Time for @p ops latency-bound persist operations issued by
+     * @p issuing_threads GPU threads.
+     *
+     * Each operation occupies a non-posted slot for one round trip
+     * (@ref SimConfig::pcie_persist_op_ns when the fence completes at
+     * the memory controller, @p op_ns otherwise); at most
+     * min(issuing_threads, pcie_concurrency) proceed in parallel.
+     */
+    SimNs
+    persistOpsTime(std::uint64_t ops, std::uint64_t issuing_threads,
+                   SimNs op_ns) const
+    {
+        if (ops == 0)
+            return 0.0;
+        const std::uint64_t lanes =
+            std::max<std::uint64_t>(1,
+                std::min<std::uint64_t>(issuing_threads,
+                    static_cast<std::uint64_t>(cfg_->pcie_concurrency)));
+        const double waves =
+            static_cast<double>(ops) / static_cast<double>(lanes);
+        return std::max(1.0, waves) * op_ns;
+    }
+
+  private:
+    const SimConfig *cfg_;
+};
+
+} // namespace gpm

@@ -1,0 +1,74 @@
+#include "platform/gpufs_api.hpp"
+
+namespace gpm {
+
+GpufsFile::GpufsFile(Machine &m, const std::string &path,
+                     std::uint64_t size)
+    : m_(&m), path_(path)
+{
+    GPM_REQUIRE(m.kind() == PlatformKind::Gpufs,
+                "GpufsFile requires the GPUfs platform");
+    GPM_REQUIRE(m.gpufsSupported(size),
+                "GPUfs cannot hold '", path, "' (", size,
+                " bytes > 2 GB file limit)");
+    region_ = m.pool().map(path, size, /*create=*/true);
+    m.advance(m.config().syscall_ns);  // gopen RPC
+}
+
+void
+GpufsFile::recordParticipant(ThreadCtx &ctx)
+{
+    GPM_REQUIRE(!closed_, "gwrite/gread on a closed GPUfs file");
+    BlockUse &use = use_[ctx.blockIdx()];
+    use.block_threads = ctx.blockDim();
+    ++use.calls;
+}
+
+void
+GpufsFile::gwrite(ThreadCtx &ctx, std::uint64_t file_off,
+                  const void *src, std::uint64_t bytes)
+{
+    GPM_REQUIRE(file_off + bytes <= region_.size,
+                "gwrite beyond EOF of '", path_, "'");
+    recordParticipant(ctx);
+    // The block's leader ships the data through the host RPC; the
+    // other threads only participate in the internal barrier.
+    if (ctx.threadIdx() == 0)
+        m_->gpufsWrite(region_.offset + file_off, src, bytes, 1);
+}
+
+void
+GpufsFile::gread(ThreadCtx &ctx, std::uint64_t file_off, void *dst,
+                 std::uint64_t bytes)
+{
+    GPM_REQUIRE(file_off + bytes <= region_.size,
+                "gread beyond EOF of '", path_, "'");
+    recordParticipant(ctx);
+    if (ctx.threadIdx() == 0) {
+        m_->pool().read(region_.offset + file_off, dst, bytes);
+        m_->nvm().recordRead(bytes);
+        m_->advance(m_->config().gpufs_call_ns +
+                    m_->nvm().readTime(bytes) +
+                    m_->pcie().bulkTime(bytes));
+    }
+}
+
+void
+GpufsFile::close()
+{
+    closed_ = true;
+    for (const auto &[block, use] : use_) {
+        if (use.calls % use.block_threads != 0) {
+            throw GpufsDeadlock(
+                "fatal: GPUfs deadlock: block " +
+                std::to_string(block) + " reached a file call with " +
+                std::to_string(use.calls % use.block_threads) +
+                " of " + std::to_string(use.block_threads) +
+                " threads — all threads of a threadblock must invoke "
+                "GPUfs calls together");
+        }
+    }
+    m_->advance(m_->config().syscall_ns);  // gclose RPC
+}
+
+} // namespace gpm

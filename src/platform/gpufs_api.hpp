@@ -1,0 +1,92 @@
+/**
+ * @file
+ * GPUfs comparator API (Silberstein et al., ASPLOS'13), as the paper
+ * evaluates it in section 6.1.
+ *
+ * GPUfs exposes file calls (gread/gwrite) to GPU kernels, serviced by
+ * an RPC to the host CPU, which performs the I/O and persists through
+ * the OS. Two properties the paper leans on are made behavioural
+ * here:
+ *
+ *  - calls are *per threadblock*: every thread of the block must
+ *    reach the call site together (the library internally
+ *    barrier-synchronizes). "Applications deadlock if individual
+ *    threads try to read/write data" — close() audits participation
+ *    and throws GpufsDeadlock when a block called with only a subset
+ *    of its threads.
+ *  - files are limited to 2 GB ("As GPUfs only supports file sizes
+ *    upto 2GB, BLK and HS fail") — creation beyond the limit throws.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "gpusim/thread_ctx.hpp"
+#include "platform/machine.hpp"
+
+namespace gpm {
+
+/** Thrown when per-thread misuse of the block-cooperative API is
+ *  detected — the real library would hang the kernel. */
+class GpufsDeadlock : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** A GPUfs-managed file, backed by a PM region through the host OS. */
+class GpufsFile
+{
+  public:
+    /**
+     * Open (create) a GPUfs file of @p size bytes on the Gpufs
+     * platform. Throws when the platform is wrong or the size
+     * exceeds the 2 GB limit.
+     */
+    GpufsFile(Machine &m, const std::string &path, std::uint64_t size);
+
+    /**
+     * Block-cooperative gwrite: every thread of the calling block
+     * must invoke it with identical arguments; the designated leader
+     * performs the transfer. One host RPC is charged per block call.
+     *
+     * @param file_off  Destination offset within the file.
+     * @param src       Source bytes (device-resident).
+     * @param bytes     Write length.
+     */
+    void gwrite(ThreadCtx &ctx, std::uint64_t file_off,
+                const void *src, std::uint64_t bytes);
+
+    /** Block-cooperative gread of @p bytes at @p file_off. */
+    void gread(ThreadCtx &ctx, std::uint64_t file_off, void *dst,
+               std::uint64_t bytes);
+
+    /**
+     * Close the file: audits that every block that touched the file
+     * did so with all of its threads — anything else would have
+     * deadlocked on real GPUfs.
+     */
+    void close();
+
+    std::uint64_t size() const { return region_.size; }
+    const PmRegion &region() const { return region_; }
+
+  private:
+    struct BlockUse {
+        std::uint64_t calls = 0;          ///< thread-call count
+        std::uint32_t block_threads = 0;  ///< expected participants
+    };
+
+    void recordParticipant(ThreadCtx &ctx);
+
+    Machine *m_;
+    std::string path_;
+    PmRegion region_;
+    // Per (block, call-sequence-within-block) participation audit.
+    std::map<std::uint32_t, BlockUse> use_;
+    bool closed_ = false;
+};
+
+} // namespace gpm

@@ -1,0 +1,260 @@
+#include "platform/machine.hpp"
+
+#include <algorithm>
+
+namespace gpm {
+
+Machine::Machine(const SimConfig &cfg, PlatformKind kind,
+                 std::size_t pm_capacity, std::uint64_t seed)
+    : cfg_(cfg), kind_(kind),
+      pool_(pm_capacity, initialDomain(kind), seed),
+      nvm_(cfg_), gpu_(cfg_, pool_, nvm_), pcie_(cfg_),
+      cpu_persist_(cfg_), fs_(cfg_)
+{
+}
+
+void
+Machine::ddioOff()
+{
+    // Writing the perfctrlsts_0 I/O register; only the GPM platform
+    // actually moves the persistence boundary to the memory controller.
+    if (kind_ == PlatformKind::Gpm)
+        pool_.setDomain(PersistDomain::McDurable);
+    advance(cfg_.syscall_ns);
+}
+
+void
+Machine::ddioOn()
+{
+    if (kind_ == PlatformKind::Gpm)
+        pool_.setDomain(PersistDomain::LlcVolatile);
+    advance(cfg_.syscall_ns);
+}
+
+SimNs
+Machine::fenceLatency() const
+{
+    return pool_.domain() == PersistDomain::McDurable ? cfg_.fence_mc_ns
+                                                      : cfg_.fence_llc_ns;
+}
+
+double
+Machine::effectiveGpuRate(std::uint64_t threads) const
+{
+    // Linear ramp up to full occupancy of the SIMD lanes.
+    const double lanes = static_cast<double>(cfg_.num_sms) * 64.0;
+    const double util =
+        std::min(1.0, static_cast<double>(threads) / lanes);
+    return cfg_.gpu_ops_per_ns * std::max(util, 1.0 / lanes);
+}
+
+LaunchStats
+Machine::runKernel(const KernelDesc &kernel)
+{
+    const LaunchStats stats = gpu_.launch(kernel);  // may throw
+
+    const SimNs compute_ns =
+        stats.work_ops / effectiveGpuRate(stats.threads);
+    const SimNs hbm_ns = transferNs(stats.hbm_bytes, cfg_.hbm_gbps);
+    const SimNs core_ns = std::max(compute_ns, hbm_ns);
+
+    const SimNs pcie_ns =
+        pcie_.bulkTime(stats.pm_line_bytes) +
+        pcie_.bulkTime(stats.pm_read_bytes);
+    // Under eADR the LLC is durable on arrival: the media absorbs
+    // store bursts off the critical path and evicts well-batched full
+    // lines in the background, so the random/unaligned-tier penalties
+    // vanish from kernel latency (the big Fig 10 uplift for
+    // fence-heavy workloads).
+    // The WPQ absorbs the head of each kernel's write burst at full
+    // speed (see SimConfig::wpq_absorb_bytes); charge it against the
+    // slowest (random) tier first.
+    NvmTierBytes charged = stats.nvm;
+    charged.random -=
+        std::min<std::uint64_t>(charged.random, cfg_.wpq_absorb_bytes);
+    const SimNs nvm_write_ns = pool_.domain() == PersistDomain::LlcDurable
+        ? transferNs(charged.total(), cfg_.nvm_seq_aligned_gbps)
+        : nvm_.writeTime(charged, cfg_.nvm_gpu_random_boost);
+    const SimNs nvm_ns = nvm_write_ns + nvm_.readTime(stats.pm_read_bytes);
+    const SimNs mem_ns = std::max(pcie_ns, nvm_ns);
+
+    const std::uint64_t issuing = std::min<std::uint64_t>(
+        stats.threads,
+        static_cast<std::uint64_t>(cfg_.max_resident_threads));
+    const SimNs fence_ns = pcie_.persistOpsTime(stats.fences, issuing,
+                                                fenceLatency());
+
+    const SimNs launch_ns =
+        kernel.no_launch_overhead ? 0.0 : cfg_.kernel_launch_ns;
+    advance(launch_ns + std::max(core_ns, mem_ns) + fence_ns);
+
+    pcie_write_bytes_ += stats.pm_line_bytes;
+    if (fenceIsPersist(pool_.domain()))
+        persist_payload_ += stats.pm_payload_bytes;
+    return stats;
+}
+
+void
+Machine::cpuCompute(double ops, int threads)
+{
+    GPM_REQUIRE(threads >= 1, "cpuCompute needs >= 1 thread");
+    const int t = std::min(threads, cfg_.cpu_max_threads);
+    advance(ops / (cfg_.cpu_ops_per_ns * static_cast<double>(t)));
+}
+
+void
+Machine::dmaDeviceToHost(std::uint64_t bytes)
+{
+    advance(pcie_.dmaTime(bytes));
+    pcie_write_bytes_ += bytes;
+}
+
+void
+Machine::dmaHostToDevice(std::uint64_t bytes)
+{
+    advance(pcie_.dmaTime(bytes));
+}
+
+void
+Machine::cpuWritePersist(std::uint64_t pm_addr, const void *src,
+                         std::uint64_t size, int threads)
+{
+    const OwnerId owner = next_cpu_owner_++;
+    pool_.cpuWrite(owner, pm_addr, src, size);
+    pool_.persistRange(pm_addr, size);
+
+    // Each flushing thread sweeps a contiguous chunk in line-sized
+    // transactions; the flush path, not the media, is usually the
+    // bottleneck (Fig 3a), so charge the slower of the two.
+    nvm_.closeRuns();
+    const NvmTierBytes before = nvm_.bytes();
+    nvm_.recordRun(pm_addr, size,
+                   std::max<std::uint64_t>(1, size / cfg_.cache_line));
+    // Under eADR no flushes are needed (CAP-eADR, section 6.1); the
+    // store stream still drains through the media.
+    const SimNs flush_ns = pool_.domain() == PersistDomain::LlcDurable
+        ? cfg_.cpu_sfence_ns
+        : cpu_persist_.persistTime(size, threads);
+    const SimNs media_ns = nvm_.writeTime(nvm_.bytes() - before);
+    advance(cpu_persist_.copyTime(size) + std::max(flush_ns, media_ns));
+    persist_payload_ += size;
+}
+
+void
+Machine::cpuPersistRange(std::uint64_t pm_addr, std::uint64_t size,
+                         int threads)
+{
+    pool_.persistRange(pm_addr, size);
+    nvm_.recordRun(pm_addr, size,
+                   std::max<std::uint64_t>(1, size / cfg_.cache_line));
+    advance(cpu_persist_.persistTime(size, threads));
+    persist_payload_ += size;
+}
+
+void
+Machine::cpuPersistScattered(std::uint64_t bytes, int threads)
+{
+    pool_.persistAll();
+    if (bytes == 0)
+        return;
+    nvm_.recordScattered(bytes,
+                         std::max<std::uint64_t>(1,
+                                                 bytes / cfg_.cache_line));
+    const SimNs flush_ns = pool_.domain() == PersistDomain::LlcDurable
+        ? cfg_.cpu_sfence_ns
+        : cpu_persist_.persistTime(bytes, threads);
+    const SimNs media_ns = nvm_.writeTime(NvmTierBytes{0, 0, bytes});
+    advance(std::max(flush_ns, media_ns));
+    persist_payload_ += bytes;
+}
+
+void
+Machine::cpuPmRead(std::uint64_t bytes, int threads)
+{
+    const int t = std::max(1, std::min(threads, cfg_.cpu_max_threads));
+    nvm_.recordRead(bytes);
+    // A few reader threads pipeline Optane's read latency away.
+    advance(nvm_.readTime(bytes) / std::min(4, t) ); // bounded overlap
+}
+
+void
+Machine::capMmPersist(std::uint64_t pm_addr, const void *src,
+                      std::uint64_t size, int threads)
+{
+    dmaDeviceToHost(size);
+    cpuWritePersist(pm_addr, src, size, threads);
+}
+
+void
+Machine::capFsPersist(std::uint64_t pm_addr, const void *src,
+                      std::uint64_t size, std::uint64_t write_calls)
+{
+    dmaDeviceToHost(size);
+    const OwnerId owner = next_cpu_owner_++;
+    pool_.cpuWrite(owner, pm_addr, src, size);
+    pool_.persistRange(pm_addr, size);  // fsync makes it durable
+    nvm_.recordRun(pm_addr, size,
+                   std::max<std::uint64_t>(1, size / cfg_.fs_block_bytes));
+    advance(fs_.writeFsyncTime(size, write_calls));
+    persist_payload_ += size;
+}
+
+void
+Machine::capPersistChunks(std::uint64_t region_base,
+                          const void *host_base,
+                          const std::vector<std::uint64_t> &chunk_idx,
+                          std::uint64_t chunk_bytes, int threads,
+                          bool via_fs)
+{
+    if (chunk_idx.empty())
+        return;
+    const std::uint64_t total = chunk_idx.size() * chunk_bytes;
+    dmaDeviceToHost(total);
+
+    const OwnerId owner = next_cpu_owner_++;
+    nvm_.closeRuns();
+    const NvmTierBytes before = nvm_.bytes();
+    for (const std::uint64_t c : chunk_idx) {
+        const std::uint64_t off = c * chunk_bytes;
+        pool_.cpuWrite(owner, region_base + off,
+                       static_cast<const std::uint8_t *>(host_base) +
+                           off, chunk_bytes);
+        pool_.persistRange(region_base + off, chunk_bytes);
+        nvm_.recordRun(region_base + off, chunk_bytes,
+                       std::max<std::uint64_t>(1,
+                                               chunk_bytes /
+                                                   cfg_.cache_line));
+    }
+    const SimNs media_ns = nvm_.writeTime(nvm_.bytes() - before);
+    if (via_fs) {
+        advance(fs_.writeFsyncTime(total, 1));
+    } else {
+        const SimNs flush_ns =
+            pool_.domain() == PersistDomain::LlcDurable
+                ? cfg_.cpu_sfence_ns
+                : cpu_persist_.persistTime(total, threads);
+        advance(cpu_persist_.copyTime(total) +
+                std::max(flush_ns, media_ns));
+    }
+    persist_payload_ += total;
+}
+
+void
+Machine::gpufsWrite(std::uint64_t pm_addr, const void *src,
+                    std::uint64_t size, std::uint64_t calls)
+{
+    GPM_REQUIRE(kind_ == PlatformKind::Gpufs,
+                "gpufsWrite outside the GPUfs platform");
+    const OwnerId owner = next_cpu_owner_++;
+    pool_.cpuWrite(owner, pm_addr, src, size);
+    pool_.persistRange(pm_addr, size);  // the host OS persists
+    nvm_.recordRun(pm_addr, size,
+                   std::max<std::uint64_t>(1, size / cfg_.fs_block_bytes));
+    pcie_write_bytes_ += size;
+    advance(static_cast<double>(calls) * cfg_.gpufs_call_ns +
+            pcie_.bulkTime(size) +
+            fs_.writeFsyncTime(size, std::max<std::uint64_t>(1, calls)));
+    persist_payload_ += size;
+}
+
+} // namespace gpm

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The simulated heterogeneous machine: GPU + CPU + PM + interconnect,
+ * configured as one of the paper's persistence platforms.
+ *
+ * Machine is the single owner of functional state (PmPool), the device
+ * models (NvmModel, PcieLink, host models), the GPU executor, and the
+ * simulated clock. Everything an experiment measures — operation time,
+ * persisted payload (for Table 4's write amplification), PCIe write
+ * traffic (Fig 12) — is accounted here.
+ *
+ * Timing composition for a kernel launch:
+ *
+ *     t = launch_overhead
+ *       + max(compute, HBM traffic)            // core-side
+ *         overlapped-with
+ *         max(PCIe streaming, NVM media time)  // PM write path
+ *       + fence serialization                  // wave-limited persists
+ *
+ * The fence term uses the PCIe non-posted concurrency bound and the
+ * latency of wherever the system-scope fence completes (memory
+ * controller under GPM, LLC under DDIO/eADR) — this is what separates
+ * GPM, GPM-NDP and GPM-eADR in Figures 9 and 10.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/gpu_executor.hpp"
+#include "memsim/host_models.hpp"
+#include "memsim/nvm_model.hpp"
+#include "memsim/pcie_link.hpp"
+#include "memsim/sim_config.hpp"
+#include "platform/platform_kind.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+
+/** A complete simulated system under one persistence platform. */
+class Machine
+{
+  public:
+    /**
+     * @param cfg          Machine parameters (copied; owned here).
+     * @param kind         Persistence platform to model.
+     * @param pm_capacity  Size of the PM pool in bytes.
+     * @param seed         Seed for crash-eviction randomness.
+     */
+    Machine(const SimConfig &cfg, PlatformKind kind,
+            std::size_t pm_capacity, std::uint64_t seed = 1);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    PlatformKind kind() const { return kind_; }
+    const SimConfig &config() const { return cfg_; }
+    PmPool &pool() { return pool_; }
+    NvmModel &nvm() { return nvm_; }
+    GpuExecutor &gpu() { return gpu_; }
+    const PcieLink &pcie() const { return pcie_; }
+
+    // ---- simulated clock ---------------------------------------------------
+    SimNs now() const { return now_; }
+    void advance(SimNs ns) { now_ += ns; }
+
+    // ---- figure counters ----------------------------------------------------
+
+    /** Device-to-host PCIe write traffic so far (Fig 12 numerator). */
+    std::uint64_t pcieWriteBytes() const { return pcie_write_bytes_; }
+
+    /** Bytes persisted with intent so far (Table 4 WA accounting). */
+    std::uint64_t persistPayloadBytes() const { return persist_payload_; }
+
+    // ---- DDIO control (libGPM's gpm_persist_begin/end substrate) -----------
+
+    /**
+     * Disable DDIO for the GPU. Only meaningful on the plain GPM
+     * platform; eADR platforms are always durable at the LLC and the
+     * others deliberately leave DDIO on.
+     */
+    void ddioOff();
+
+    /** Re-enable DDIO (gpm_persist_end). */
+    void ddioOn();
+
+    // ---- GPU execution -----------------------------------------------------
+
+    /**
+     * Execute @p kernel functionally and charge its simulated time.
+     *
+     * @throws KernelCrashed on an armed crash point; the clock is not
+     *         advanced for a crashed launch (the measurement flows of
+     *         Table 5 only time clean operation and clean recovery).
+     */
+    LaunchStats runKernel(const KernelDesc &kernel);
+
+    // ---- host-side operations ------------------------------------------------
+
+    /** CPU computation of @p ops abstract operations on @p threads. */
+    void cpuCompute(double ops, int threads);
+
+    /** DMA a device buffer to host DRAM (CAP step 1). */
+    void dmaDeviceToHost(std::uint64_t bytes);
+
+    /** DMA host data to the device. */
+    void dmaHostToDevice(std::uint64_t bytes);
+
+    /**
+     * CAP-mm persist: DMA @p size bytes device-to-host, CPU-store them
+     * into PM at @p pm_addr, then flush+drain with @p threads CPU
+     * threads. Functionally durable on return.
+     */
+    void capMmPersist(std::uint64_t pm_addr, const void *src,
+                      std::uint64_t size, int threads);
+
+    /**
+     * CAP-fs persist: DMA device-to-host, then write()+fsync() into a
+     * DAX file backed at @p pm_addr using @p write_calls syscalls.
+     */
+    void capFsPersist(std::uint64_t pm_addr, const void *src,
+                      std::uint64_t size, std::uint64_t write_calls);
+
+    /**
+     * CAP persist of a dirty-chunk set: the kernel reports which
+     * fixed-size chunks of a device structure it touched, and only
+     * those are DMA-ed out and persisted (one DMA + one fs write or
+     * flush pass for the gathered set). This is the chunked-transfer
+     * moderation of section 3.2 — and still the source of Table 4's
+     * write amplification, since a chunk is dirtied by a single byte.
+     *
+     * @param region_base  PM address of the structure's start.
+     * @param host_base    Device-volatile copy of the structure.
+     * @param chunk_idx    Indices of dirty chunks.
+     * @param chunk_bytes  Chunk granularity.
+     * @param threads      CPU flush threads (ignored for via_fs).
+     * @param via_fs       CAP-fs (write+fsync) vs CAP-mm (flush).
+     */
+    void capPersistChunks(std::uint64_t region_base,
+                          const void *host_base,
+                          const std::vector<std::uint64_t> &chunk_idx,
+                          std::uint64_t chunk_bytes, int threads,
+                          bool via_fs);
+
+    /**
+     * CPU store + flush of CPU-generated data (CPU-only baselines and
+     * the CPU half of GPM-NDP). No DMA is charged.
+     */
+    void cpuWritePersist(std::uint64_t pm_addr, const void *src,
+                         std::uint64_t size, int threads);
+
+    /**
+     * Flush an address range already stored to PM (GPM-NDP's
+     * after-kernel durability pass; CLFLUSHOPT by address).
+     */
+    void cpuPersistRange(std::uint64_t pm_addr, std::uint64_t size,
+                         int threads);
+
+    /**
+     * Flush *everything* currently pending to PM with @p threads CPU
+     * threads sweeping scattered cache lines (the GPM-NDP durability
+     * pass: the CPU does not know which lines the kernel updated
+     * beyond a conservative line list of @p bytes total).
+     */
+    void cpuPersistScattered(std::uint64_t bytes, int threads);
+
+    /** Read @p bytes from PM into the host (restores, CPU reads). */
+    void cpuPmRead(std::uint64_t bytes, int threads);
+
+    // ---- GPUfs comparator ----------------------------------------------------
+
+    /** True when GPUfs can host a file of @p file_bytes (2 GB limit). */
+    bool
+    gpufsSupported(std::uint64_t file_bytes) const
+    {
+        return file_bytes <= cfg_.gpufs_max_file_bytes;
+    }
+
+    /**
+     * gwrite() from GPU kernels: @p calls per-threadblock RPCs moving
+     * @p size bytes total into the file at @p pm_addr, persisted by
+     * the host OS.
+     */
+    void gpufsWrite(std::uint64_t pm_addr, const void *src,
+                    std::uint64_t size, std::uint64_t calls);
+
+  private:
+    SimNs fenceLatency() const;
+    double effectiveGpuRate(std::uint64_t threads) const;
+
+    SimConfig cfg_;
+    PlatformKind kind_;
+    PmPool pool_;
+    NvmModel nvm_;
+    GpuExecutor gpu_;
+    PcieLink pcie_;
+    CpuPersistModel cpu_persist_;
+    FsModel fs_;
+
+    SimNs now_ = 0;
+    std::uint64_t pcie_write_bytes_ = 0;
+    std::uint64_t persist_payload_ = 0;
+    std::uint64_t next_cpu_owner_ = 0;
+};
+
+} // namespace gpm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The persistence platforms the paper evaluates against each other.
+ *
+ * Section 3 defines CAP (CPU-Assisted Persistence) and its two
+ * realizations; section 6 adds the ablations (GPM-NDP) and the eADR
+ * projections, plus the GPUfs comparator.
+ */
+#pragma once
+
+#include <string>
+
+#include "memsim/sim_config.hpp"
+
+namespace gpm {
+
+/** A way for a GPU application to make its results durable on PM. */
+enum class PlatformKind {
+    /** GPM: UVA-mapped PM, in-kernel system-scope fences, DDIO off. */
+    Gpm,
+    /** GPM-NDP ablation: direct load/store to PM from the kernel, but
+     *  durability still guaranteed by the CPU afterwards (DDIO on). */
+    GpmNdp,
+    /** GPM on future eADR hardware: LLC inside the persistence domain,
+     *  DDIO stays on, fences complete at the LLC. */
+    GpmEadr,
+    /** CAP via filesystem: DMA to DRAM, write() to an ext4-DAX file,
+     *  fsync(). */
+    CapFs,
+    /** CAP via mmap: DMA to DRAM, CPU stores to mapped PM, CLFLUSHOPT
+     *  + SFENCE from a pool of CPU threads. */
+    CapMm,
+    /** CAP-mm on eADR hardware: no CPU cache flushes needed. */
+    CapEadr,
+    /** GPUfs comparator: file API (gwrite) from the GPU, persistence
+     *  via CPU/OS; per-threadblock RPC; 2 GB file-size limit. */
+    Gpufs,
+    /** CPU-only: computation and persistence both on the CPU (Fig 1). */
+    CpuOnly,
+};
+
+/** Display name matching the paper's figure legends. */
+inline std::string
+platformName(PlatformKind k)
+{
+    switch (k) {
+      case PlatformKind::Gpm: return "GPM";
+      case PlatformKind::GpmNdp: return "GPM-NDP";
+      case PlatformKind::GpmEadr: return "GPM-eADR";
+      case PlatformKind::CapFs: return "CAP-fs";
+      case PlatformKind::CapMm: return "CAP-mm";
+      case PlatformKind::CapEadr: return "CAP-eADR";
+      case PlatformKind::Gpufs: return "GPUfs";
+      case PlatformKind::CpuOnly: return "CPU";
+    }
+    return "?";
+}
+
+/** Initial persistence domain for device writes on this platform. */
+inline PersistDomain
+initialDomain(PlatformKind k)
+{
+    switch (k) {
+      case PlatformKind::GpmEadr:
+      case PlatformKind::CapEadr:
+        return PersistDomain::LlcDurable;
+      default:
+        return PersistDomain::LlcVolatile;  // DDIO on is the default
+    }
+}
+
+/** True for the platforms where kernels persist in-kernel via fences. */
+inline bool
+inKernelPersistence(PlatformKind k)
+{
+    return k == PlatformKind::Gpm || k == PlatformKind::GpmEadr;
+}
+
+/** True for platforms that run computation on the GPU. */
+inline bool
+usesGpu(PlatformKind k)
+{
+    return k != PlatformKind::CpuOnly;
+}
+
+} // namespace gpm

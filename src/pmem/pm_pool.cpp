@@ -1,0 +1,244 @@
+#include "pmem/pm_pool.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace gpm {
+
+PmPool::PmPool(std::size_t capacity, PersistDomain domain,
+               std::uint64_t seed)
+    : visible_(capacity, 0), durable_(capacity, 0), domain_(domain),
+      rng_(seed)
+{
+    GPM_REQUIRE(capacity > 0, "PM pool capacity must be non-zero");
+}
+
+PmRegion
+PmPool::map(const std::string &name, std::uint64_t size, bool create)
+{
+    auto it = regions_.find(name);
+    if (it != regions_.end()) {
+        GPM_REQUIRE(size == 0 || size == it->second.size,
+                    "region '", name, "' exists with size ",
+                    it->second.size, ", not ", size);
+        return it->second;
+    }
+    GPM_REQUIRE(create, "region '", name, "' does not exist");
+    GPM_REQUIRE(size > 0, "cannot create empty region '", name, "'");
+
+    const std::uint64_t offset = alignUp(alloc_cursor_, 256);
+    GPM_REQUIRE(offset + size <= visible_.size(),
+                "PM pool exhausted allocating '", name, "' (", size,
+                " bytes at ", offset, " of ", visible_.size(), ")");
+    alloc_cursor_ = offset + size;
+    PmRegion r{offset, size};
+    regions_.emplace(name, r);
+    return r;
+}
+
+bool
+PmPool::hasRegion(const std::string &name) const
+{
+    return regions_.count(name) != 0;
+}
+
+PmRegion
+PmPool::region(const std::string &name) const
+{
+    auto it = regions_.find(name);
+    GPM_REQUIRE(it != regions_.end(), "no region named '", name, "'");
+    return it->second;
+}
+
+void
+PmPool::checkRange(std::uint64_t addr, std::uint64_t size) const
+{
+    GPM_REQUIRE(addr + size <= visible_.size() && addr + size >= addr,
+                "PM access [", addr, ", ", addr + size,
+                ") out of pool of ", visible_.size(), " bytes");
+}
+
+void
+PmPool::writeCommon(OwnerId owner, std::uint64_t addr, const void *src,
+                    std::uint64_t size)
+{
+    checkRange(addr, size);
+    std::memcpy(visible_.data() + addr, src, size);
+    if (domain_ == PersistDomain::LlcDurable) {
+        // eADR: the LLC is inside the persistence domain.
+        std::memcpy(durable_.data() + addr, src, size);
+    } else {
+        pending_[owner].push_back({addr, size});
+    }
+}
+
+void
+PmPool::deviceWrite(OwnerId owner, std::uint64_t addr, const void *src,
+                    std::uint64_t size)
+{
+    writeCommon(owner, addr, src, size);
+}
+
+void
+PmPool::cpuWrite(OwnerId owner, std::uint64_t addr, const void *src,
+                 std::uint64_t size)
+{
+    writeCommon(kCpuOwnerBase | owner, addr, src, size);
+}
+
+void
+PmPool::read(std::uint64_t addr, void *dst, std::uint64_t size) const
+{
+    checkRange(addr, size);
+    std::memcpy(dst, visible_.data() + addr, size);
+}
+
+void
+PmPool::drain(const Extent &e)
+{
+    std::memcpy(durable_.data() + e.addr, visible_.data() + e.addr,
+                e.size);
+}
+
+bool
+PmPool::persistOwner(OwnerId owner)
+{
+    switch (domain_) {
+      case PersistDomain::LlcVolatile:
+        // The fence completes at the volatile LLC: ordering only.
+        return false;
+      case PersistDomain::LlcDurable:
+        return true;
+      case PersistDomain::McDurable:
+        break;
+    }
+    auto it = pending_.find(owner);
+    if (it != pending_.end()) {
+        for (const Extent &e : it->second)
+            drain(e);
+        pending_.erase(it);
+    }
+    return true;
+}
+
+void
+PmPool::persistRange(std::uint64_t addr, std::uint64_t size)
+{
+    checkRange(addr, size);
+    const std::uint64_t lo = addr, hi = addr + size;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        auto &extents = it->second;
+        std::size_t kept = 0;
+        for (Extent &e : extents) {
+            if (e.addr < hi && e.addr + e.size > lo)
+                drain(e);
+            else
+                extents[kept++] = e;
+        }
+        extents.resize(kept);
+        it = extents.empty() ? pending_.erase(it) : std::next(it);
+    }
+}
+
+void
+PmPool::persistAll()
+{
+    for (const auto &[owner, extents] : pending_)
+        for (const Extent &e : extents)
+            drain(e);
+    pending_.clear();
+}
+
+void
+PmPool::crash(double survive_prob)
+{
+    if (domain_ == PersistDomain::LlcDurable) {
+        // eADR drains caches on power failure.
+        persistAll();
+    } else {
+        for (const auto &[owner, extents] : pending_) {
+            for (const Extent &e : extents) {
+                if (survive_prob > 0.0 && rng_.chance(survive_prob))
+                    drain(e);
+            }
+        }
+        pending_.clear();
+    }
+    // Post-reboot: only durable contents remain visible.
+    visible_ = durable_;
+}
+
+std::size_t
+PmPool::pendingExtents() const
+{
+    std::size_t n = 0;
+    for (const auto &[owner, extents] : pending_)
+        n += extents.size();
+    return n;
+}
+
+std::uint64_t
+PmPool::pendingBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[owner, extents] : pending_)
+        for (const Extent &e : extents)
+            n += e.size;
+    return n;
+}
+
+void
+PmPool::saveDurable(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    GPM_REQUIRE(os.good(), "cannot open '", path, "' for writing");
+
+    const std::uint64_t cap = durable_.size();
+    const std::uint64_t nregions = regions_.size();
+    os.write(reinterpret_cast<const char *>(&cap), sizeof(cap));
+    os.write(reinterpret_cast<const char *>(&alloc_cursor_),
+             sizeof(alloc_cursor_));
+    os.write(reinterpret_cast<const char *>(&nregions), sizeof(nregions));
+    for (const auto &[name, r] : regions_) {
+        const std::uint64_t len = name.size();
+        os.write(reinterpret_cast<const char *>(&len), sizeof(len));
+        os.write(name.data(), static_cast<std::streamsize>(len));
+        os.write(reinterpret_cast<const char *>(&r), sizeof(r));
+    }
+    os.write(reinterpret_cast<const char *>(durable_.data()),
+             static_cast<std::streamsize>(durable_.size()));
+    GPM_REQUIRE(os.good(), "short write saving pool to '", path, "'");
+}
+
+PmPool
+PmPool::loadDurable(const std::string &path, PersistDomain domain,
+                    std::uint64_t seed)
+{
+    std::ifstream is(path, std::ios::binary);
+    GPM_REQUIRE(is.good(), "cannot open '", path, "' for reading");
+
+    std::uint64_t cap = 0, cursor = 0, nregions = 0;
+    is.read(reinterpret_cast<char *>(&cap), sizeof(cap));
+    is.read(reinterpret_cast<char *>(&cursor), sizeof(cursor));
+    is.read(reinterpret_cast<char *>(&nregions), sizeof(nregions));
+    GPM_REQUIRE(is.good() && cap > 0, "corrupt pool file '", path, "'");
+
+    PmPool pool(cap, domain, seed);
+    pool.alloc_cursor_ = cursor;
+    for (std::uint64_t i = 0; i < nregions; ++i) {
+        std::uint64_t len = 0;
+        is.read(reinterpret_cast<char *>(&len), sizeof(len));
+        std::string name(len, '\0');
+        is.read(name.data(), static_cast<std::streamsize>(len));
+        PmRegion r;
+        is.read(reinterpret_cast<char *>(&r), sizeof(r));
+        pool.regions_.emplace(std::move(name), r);
+    }
+    is.read(reinterpret_cast<char *>(pool.durable_.data()),
+            static_cast<std::streamsize>(cap));
+    GPM_REQUIRE(is.good(), "short read loading pool from '", path, "'");
+    pool.visible_ = pool.durable_;
+    return pool;
+}
+
+} // namespace gpm

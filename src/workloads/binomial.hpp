@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Binomial options pricing — the paper's *counter-example* (§4.3).
+ *
+ * "Threads in a threadblock coordinate to compute a single value which
+ * is written by a single thread of a threadblock. That leaves little
+ * parallelism to exploit in writing and persisting data to PM. GPM's
+ * fine-grained persistence brings fine-grained recoverability.
+ * However, GPM needs parallelism for good performance."
+ *
+ * One threadblock prices one option by backward induction over a
+ * CRR binomial tree; the block's threads share the per-level work,
+ * and only thread 0 stores + persists the final price: a single 4 B
+ * PM write per block. The ablation bench shows GPM's advantage over
+ * CAP nearly vanishing here, in contrast to every GPMbench workload.
+ *
+ * The tree price converges to the Black–Scholes closed form for
+ * European calls, which the tests exploit as a cross-check against
+ * the BLK workload.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace gpm {
+
+/** Option book and tree depth. */
+struct BinomialParams {
+    std::uint32_t options = 512;   ///< one threadblock each
+    std::uint32_t steps = 128;     ///< tree depth
+    std::uint64_t seed = 37;
+    int cap_threads = 16;
+};
+
+/** The binomial-options app. */
+class GpBinomial
+{
+  public:
+    explicit GpBinomial(Machine &m, const BinomialParams &p);
+
+    /** Map the PM result region and generate the book. */
+    void setup();
+
+    /** Price the whole book, persisting each result. */
+    WorkloadResult run();
+
+    /** CRR tree price of option @p i (host reference). */
+    float referencePrice(std::uint32_t i) const;
+
+    /** Inputs of option @p i (for the Black–Scholes cross-check). */
+    void option(std::uint32_t i, float &spot, float &strike,
+                float &vol, float &years) const;
+
+    /** Priced result of option @p i as persisted on PM. */
+    float durablePrice(std::uint32_t i) const;
+
+  private:
+    Machine *m_;
+    BinomialParams p_;
+    PmRegion out_;
+    std::vector<float> spot_, strike_, vol_, years_;
+};
+
+} // namespace gpm

@@ -1,0 +1,93 @@
+#include "workloads/blackscholes.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace gpm {
+
+namespace {
+constexpr float kRiskFree = 0.02f;
+constexpr float kInitialYears = 2.0f;
+constexpr float kYearsPerIter = 0.05f;
+} // namespace
+
+float
+BlackScholesApp::normCdf(float x)
+{
+    return 0.5f * std::erfc(-x * 0.70710678f);
+}
+
+void
+BlackScholesApp::init()
+{
+    Rng rng(p_.seed);
+    spot_.resize(p_.options);
+    strike_.resize(p_.options);
+    vol_.resize(p_.options);
+    for (std::uint32_t i = 0; i < p_.options; ++i) {
+        spot_[i] = 20.0f + 100.0f * static_cast<float>(rng.uniform());
+        strike_[i] = 20.0f + 100.0f * static_cast<float>(rng.uniform());
+        vol_[i] = 0.1f + 0.5f * static_cast<float>(rng.uniform());
+    }
+    calls_.assign(p_.options, 0.0f);
+    puts_.assign(p_.options, 0.0f);
+}
+
+void
+BlackScholesApp::price(std::uint32_t i, float years, float &call,
+                       float &put) const
+{
+    const float s = spot_[i], k = strike_[i], v = vol_[i];
+    const float sqrt_t = std::sqrt(years);
+    const float d1 =
+        (std::log(s / k) + (kRiskFree + 0.5f * v * v) * years) /
+        (v * sqrt_t);
+    const float d2 = d1 - v * sqrt_t;
+    const float discount = std::exp(-kRiskFree * years);
+    call = s * normCdf(d1) - k * discount * normCdf(d2);
+    put = k * discount * normCdf(-d2) - s * normCdf(-d1);
+}
+
+void
+BlackScholesApp::computeIteration(Machine &m, std::uint32_t iter)
+{
+    const float years =
+        std::max(kInitialYears - kYearsPerIter * iter, 0.05f);
+    for (std::uint32_t i = 0; i < p_.options; ++i)
+        price(i, years, calls_[i], puts_[i]);
+
+    chargeGpuCompute(m, static_cast<double>(p_.options) * 60.0,
+                     std::uint64_t(p_.options) * 5 * sizeof(float));
+}
+
+float
+BlackScholesApp::referenceCall(std::uint32_t i, std::uint32_t iter) const
+{
+    const float years =
+        std::max(kInitialYears - kYearsPerIter * iter, 0.05f);
+    float c = 0, p = 0;
+    price(i, years, c, p);
+    return c;
+}
+
+void
+BlackScholesApp::registerState(GpmCheckpoint &cp)
+{
+    cp.registerData(0, calls_.data(), calls_.size() * sizeof(float));
+    cp.registerData(0, puts_.data(), puts_.size() * sizeof(float));
+}
+
+std::vector<std::uint8_t>
+BlackScholesApp::snapshot() const
+{
+    std::vector<std::uint8_t> out(stateBytes());
+    std::memcpy(out.data(), calls_.data(),
+                calls_.size() * sizeof(float));
+    std::memcpy(out.data() + calls_.size() * sizeof(float),
+                puts_.data(), puts_.size() * sizeof(float));
+    return out;
+}
+
+} // namespace gpm

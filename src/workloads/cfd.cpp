@@ -1,0 +1,100 @@
+#include "workloads/cfd.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace gpm {
+
+void
+CfdApp::init()
+{
+    const std::size_t n = std::size_t(p_.nx) * p_.ny;
+    density_.assign(n, 1.0f);
+    mom_x_.assign(n, 0.0f);
+    mom_y_.assign(n, 0.0f);
+    energy_.assign(n, 2.5f);
+    scratch_.assign(n, 0.0f);
+
+    // A dense, fast-moving pocket in the middle of the domain.
+    for (std::uint32_t y = p_.ny / 3; y < 2 * p_.ny / 3; ++y) {
+        for (std::uint32_t x = p_.nx / 3; x < 2 * p_.nx / 3; ++x) {
+            density_[at(x, y)] = 2.0f;
+            mom_x_[at(x, y)] = 0.6f;
+            mom_y_[at(x, y)] = 0.2f;
+            energy_[at(x, y)] = 4.0f;
+        }
+    }
+}
+
+void
+CfdApp::computeIteration(Machine &m, std::uint32_t iter)
+{
+    (void)iter;
+    const float lambda = 0.2f;  // dt/dx, stability-safe
+    auto step = [&](std::vector<float> &field) {
+        // Lax-Friedrichs: average of neighbours minus flux divergence
+        // approximated with the local velocity field.
+        for (std::uint32_t y = 1; y + 1 < p_.ny; ++y) {
+            for (std::uint32_t x = 1; x + 1 < p_.nx; ++x) {
+                const std::size_t c = at(x, y);
+                const float rho = std::max(density_[c], 1e-3f);
+                const float u = mom_x_[c] / rho;
+                const float v = mom_y_[c] / rho;
+                scratch_[c] =
+                    0.25f * (field[at(x - 1, y)] + field[at(x + 1, y)] +
+                             field[at(x, y - 1)] + field[at(x, y + 1)]) -
+                    0.5f * lambda *
+                        (u * (field[at(x + 1, y)] - field[at(x - 1, y)]) +
+                         v * (field[at(x, y + 1)] - field[at(x, y - 1)]));
+            }
+        }
+        for (std::uint32_t y = 1; y + 1 < p_.ny; ++y) {
+            std::memcpy(&field[at(1, y)], &scratch_[at(1, y)],
+                        (p_.nx - 2) * sizeof(float));
+        }
+    };
+    step(density_);
+    step(mom_x_);
+    step(mom_y_);
+    step(energy_);
+
+    const double cells = static_cast<double>(p_.nx) * p_.ny;
+    chargeGpuCompute(m, cells * 4 * 14,
+                     static_cast<std::uint64_t>(cells) * 4 * 4 * 5);
+}
+
+void
+CfdApp::registerState(GpmCheckpoint &cp)
+{
+    cp.registerData(0, density_.data(),
+                    density_.size() * sizeof(float));
+    cp.registerData(0, mom_x_.data(), mom_x_.size() * sizeof(float));
+    cp.registerData(0, mom_y_.data(), mom_y_.size() * sizeof(float));
+    cp.registerData(0, energy_.data(), energy_.size() * sizeof(float));
+}
+
+std::vector<std::uint8_t>
+CfdApp::snapshot() const
+{
+    std::vector<std::uint8_t> out(stateBytes());
+    std::uint8_t *dst = out.data();
+    for (const std::vector<float> *v :
+         {&density_, &mom_x_, &mom_y_, &energy_}) {
+        std::memcpy(dst, v->data(), v->size() * sizeof(float));
+        dst += v->size() * sizeof(float);
+    }
+    return out;
+}
+
+double
+CfdApp::totalDensity() const
+{
+    double sum = 0.0;
+    for (const float v : density_)
+        sum += v;
+    return sum;
+}
+
+} // namespace gpm

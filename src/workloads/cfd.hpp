@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CFD workload (Table 1: Rodinia's Euler grid solver; checkpointing
+ * flux, momentum and density over many timesteps).
+ *
+ * Scaled substitution: a structured-grid 2D compressible-flow step in
+ * Lax-Friedrichs form over density, x/y momentum and energy fields —
+ * the same four conserved quantities the Rodinia kernel checkpoints,
+ * on a grid sized so one iteration is sub-millisecond host-side.
+ */
+#pragma once
+
+#include "workloads/iterative.hpp"
+
+namespace gpm {
+
+/** Grid geometry. */
+struct CfdParams {
+    std::uint32_t nx = 256;
+    std::uint32_t ny = 256;   // 1 MiB of checkpointed fields
+    std::uint64_t seed = 11;
+};
+
+/** The CFD app. */
+class CfdApp final : public IterativeApp
+{
+  public:
+    explicit CfdApp(const CfdParams &p) : p_(p) {}
+
+    std::string name() const override { return "cfd"; }
+    void init() override;
+    void computeIteration(Machine &m, std::uint32_t iter) override;
+    void registerState(GpmCheckpoint &cp) override;
+    std::uint64_t
+    stateBytes() const override
+    {
+        return std::uint64_t(4) * p_.nx * p_.ny * sizeof(float);
+    }
+    std::uint64_t
+    paperStateBytes() const override
+    {
+        return std::uint64_t(8.9 * 1024 * 1024);  // Table 1
+    }
+    std::vector<std::uint8_t> snapshot() const override;
+
+    /** Total mass (conserved up to boundary flux; tests check it
+     *  stays finite and the field evolves). */
+    double totalDensity() const;
+
+  private:
+    std::size_t
+    at(std::uint32_t x, std::uint32_t y) const
+    {
+        return std::size_t(y) * p_.nx + x;
+    }
+
+    CfdParams p_;
+    std::vector<float> density_, mom_x_, mom_y_, energy_;
+    std::vector<float> scratch_;
+};
+
+} // namespace gpm

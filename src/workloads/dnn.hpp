@@ -1,0 +1,65 @@
+/**
+ * @file
+ * DNN training workload (Table 1: cuDNN LeNet on MNIST, checkpointing
+ * weights and biases every N passes).
+ *
+ * Scaled substitution: a two-layer MLP (input-hidden-softmax) trained
+ * by SGD on a deterministic synthetic digit dataset — same structure
+ * (weights + biases checkpointed as one group, loss must decrease),
+ * ~50x smaller than the paper's 3.2 MB LeNet state so the functional
+ * simulation stays fast. paperStateBytes() reports the unscaled size
+ * for the GPUfs file-limit check.
+ */
+#pragma once
+
+#include "workloads/iterative.hpp"
+
+namespace gpm {
+
+/** MLP geometry and training hyperparameters. */
+struct DnnParams {
+    std::uint32_t input = 196;    ///< 14x14 synthetic digits
+    std::uint32_t hidden = 256;   ///< ~0.8 MiB of weights
+    std::uint32_t classes = 10;
+    std::uint32_t train_samples = 256;
+    std::uint32_t minibatch = 32;
+    float lr = 0.15f;
+    std::uint64_t seed = 5;
+};
+
+/** The DNN training app. */
+class DnnApp final : public IterativeApp
+{
+  public:
+    explicit DnnApp(const DnnParams &p);
+
+    std::string name() const override { return "dnn"; }
+    void init() override;
+    void computeIteration(Machine &m, std::uint32_t iter) override;
+    void registerState(GpmCheckpoint &cp) override;
+    std::uint64_t stateBytes() const override;
+    std::uint64_t
+    paperStateBytes() const override
+    {
+        return std::uint64_t(3.2 * 1024 * 1024);  // Table 1
+    }
+    std::vector<std::uint8_t> snapshot() const override;
+
+    /** Cross-entropy loss of the most recent minibatch. */
+    double lastLoss() const { return last_loss_; }
+
+    /** Classification accuracy over the training set. */
+    double accuracy() const;
+
+  private:
+    void forward(const float *x, std::vector<float> &h,
+                 std::vector<float> &probs) const;
+
+    DnnParams p_;
+    std::vector<float> w1_, b1_, w2_, b2_;    ///< checkpointed state
+    std::vector<float> data_;                 ///< samples * input
+    std::vector<std::uint8_t> labels_;
+    double last_loss_ = 0.0;
+};
+
+} // namespace gpm

@@ -1,0 +1,79 @@
+#include "workloads/hotspot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace gpm {
+
+void
+HotspotApp::init()
+{
+    const std::size_t n = std::size_t(p_.n) * p_.n;
+    temp_.assign(n, 45.0f);   // ambient + idle
+    power_.assign(n, 0.0f);
+    scratch_.assign(n, 0.0f);
+
+    // A few hot functional units scattered deterministically.
+    Rng rng(p_.seed);
+    for (int blobs = 0; blobs < 6; ++blobs) {
+        const std::uint32_t cx =
+            static_cast<std::uint32_t>(rng.below(p_.n - 16)) + 8;
+        const std::uint32_t cy =
+            static_cast<std::uint32_t>(rng.below(p_.n - 16)) + 8;
+        for (std::uint32_t y = cy - 6; y < cy + 6; ++y)
+            for (std::uint32_t x = cx - 6; x < cx + 6; ++x)
+                power_[std::size_t(y) * p_.n + x] = 4.0f;
+    }
+}
+
+void
+HotspotApp::computeIteration(Machine &m, std::uint32_t iter)
+{
+    (void)iter;
+    const float alpha = 0.18f;  // lateral conduction
+    const float beta = 0.5f;    // power injection
+    const float kappa = 0.02f;  // sink to ambient
+    for (std::uint32_t y = 1; y + 1 < p_.n; ++y) {
+        for (std::uint32_t x = 1; x + 1 < p_.n; ++x) {
+            const std::size_t c = std::size_t(y) * p_.n + x;
+            const float lap = temp_[c - 1] + temp_[c + 1] +
+                              temp_[c - p_.n] + temp_[c + p_.n] -
+                              4.0f * temp_[c];
+            scratch_[c] = temp_[c] + alpha * lap + beta * power_[c] -
+                          kappa * (temp_[c] - 45.0f);
+        }
+    }
+    for (std::uint32_t y = 1; y + 1 < p_.n; ++y) {
+        std::memcpy(&temp_[std::size_t(y) * p_.n + 1],
+                    &scratch_[std::size_t(y) * p_.n + 1],
+                    (p_.n - 2) * sizeof(float));
+    }
+
+    const double cells = static_cast<double>(p_.n) * p_.n;
+    chargeGpuCompute(m, cells * 10,
+                     static_cast<std::uint64_t>(cells) * 4 * 3);
+}
+
+void
+HotspotApp::registerState(GpmCheckpoint &cp)
+{
+    cp.registerData(0, temp_.data(), temp_.size() * sizeof(float));
+}
+
+std::vector<std::uint8_t>
+HotspotApp::snapshot() const
+{
+    std::vector<std::uint8_t> out(stateBytes());
+    std::memcpy(out.data(), temp_.data(), out.size());
+    return out;
+}
+
+float
+HotspotApp::maxTemp() const
+{
+    return *std::max_element(temp_.begin(), temp_.end());
+}
+
+} // namespace gpm

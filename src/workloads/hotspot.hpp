@@ -1,0 +1,60 @@
+/**
+ * @file
+ * HS workload (Table 1: Rodinia Hotspot — chip thermal simulation
+ * over 16K x 16K power/temperature matrices, checkpointing the
+ * estimated temperatures).
+ *
+ * Scaled substitution: the same 5-point relaxation toward the local
+ * power-injected steady state on a smaller grid; the temperature
+ * matrix is the checkpointed state.
+ */
+#pragma once
+
+#include "workloads/iterative.hpp"
+
+namespace gpm {
+
+/** Die grid geometry. */
+struct HotspotParams {
+    std::uint32_t n = 384;   ///< grid side; ~0.6 MiB temperature state
+    std::uint64_t seed = 17;
+};
+
+/** The Hotspot app. */
+class HotspotApp final : public IterativeApp
+{
+  public:
+    explicit HotspotApp(const HotspotParams &p) : p_(p) {}
+
+    std::string name() const override { return "hotspot"; }
+    void init() override;
+    void computeIteration(Machine &m, std::uint32_t iter) override;
+    void registerState(GpmCheckpoint &cp) override;
+    std::uint64_t
+    stateBytes() const override
+    {
+        return std::uint64_t(p_.n) * p_.n * sizeof(float);
+    }
+    std::uint64_t
+    paperStateBytes() const override
+    {
+        // Table 1: 2 GB of power+temperature state; with the
+        // checkpoint file's double buffer and metadata it exceeds
+        // GPUfs's 2 GB per-file limit (the "*" in Fig 9).
+        return (std::uint64_t(2) << 30) + 64_MiB;
+    }
+    std::vector<std::uint8_t> snapshot() const override;
+
+    float maxTemp() const;
+    float
+    tempAt(std::uint32_t x, std::uint32_t y) const
+    {
+        return temp_[std::size_t(y) * p_.n + x];
+    }
+
+  private:
+    HotspotParams p_;
+    std::vector<float> temp_, power_, scratch_;
+};
+
+} // namespace gpm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Driver for GPMbench's iterative long-running workloads (Table 1,
+ * middle class: DNN, CFD, BLK, HS).
+ *
+ * All four share the same structure the paper describes: a kernel is
+ * invoked iteratively and every N iterations the intermediate state is
+ * checkpointed to PM through libGPM's gpmcp API (Figure 7's flow). The
+ * compute step executes functionally in C++ (real math, deterministic)
+ * and charges the timing model; persistence goes through the real
+ * checkpoint machinery on whatever platform the Machine models.
+ *
+ * Recovery: crash anywhere, reopen the checkpoint, re-register in the
+ * same order, gpmcp_restore, and resume from the last checkpointed
+ * iteration — the driver verifies the resumed run converges to the
+ * same final state as an uninterrupted one.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpm/gpm_checkpoint.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpm {
+
+/** Iteration/checkpoint schedule. */
+struct IterativeParams {
+    std::uint32_t iterations = 40;
+    std::uint32_t checkpoint_every = 10;  ///< paper: e.g. every 10th pass
+};
+
+/** Base class for the checkpointing workloads. */
+class IterativeApp
+{
+  public:
+    virtual ~IterativeApp() = default;
+
+    /** Short name; also the PM path of the checkpoint file. */
+    virtual std::string name() const = 0;
+
+    /** (Re)initialize the volatile state to iteration zero. */
+    virtual void init() = 0;
+
+    /** One compute iteration: real math plus a GPU timing charge. */
+    virtual void computeIteration(Machine &m, std::uint32_t iter) = 0;
+
+    /** Register every checkpointable structure, in a fixed order. */
+    virtual void registerState(GpmCheckpoint &cp) = 0;
+
+    /** Bytes of checkpointable state. */
+    virtual std::uint64_t stateBytes() const = 0;
+
+    /** Checkpoint size at the paper's unscaled inputs — used for the
+     *  GPUfs 2 GB file-limit check (BLK and HS fail there, Fig 9). */
+    virtual std::uint64_t paperStateBytes() const = 0;
+
+    /** Serialize the checkpointable state (verification only). */
+    virtual std::vector<std::uint8_t> snapshot() const = 0;
+
+    /**
+     * Execute the full schedule on @p m.
+     *
+     * @param p  Iteration/checkpoint schedule.
+     */
+    WorkloadResult run(Machine &m, const IterativeParams &p);
+
+    /**
+     * Fault-tolerance flow: run to @p crash_iter, crash (optionally
+     * mid-checkpoint when @p crash_in_checkpoint), restore from the
+     * last checkpoint, resume, and verify the final snapshot matches
+     * an uninterrupted run.
+     *
+     * recovery_ns covers checkpoint open + restore (Table 5).
+     */
+    WorkloadResult runWithCrashRestore(Machine &m,
+                                       const IterativeParams &p,
+                                       std::uint32_t crash_iter,
+                                       bool crash_in_checkpoint,
+                                       double survive_prob);
+};
+
+} // namespace gpm

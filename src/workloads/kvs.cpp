@@ -1,0 +1,564 @@
+#include "workloads/kvs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "gpm/gpm_runtime.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace gpm {
+
+namespace {
+
+/** Meta region layout. */
+constexpr std::uint64_t kTxnFlagOff = 0;   ///< u32: transaction active
+constexpr std::uint64_t kBatchIdOff = 4;   ///< u32: batch in flight
+
+/** Undo record with its batch epoch (see recover()). */
+struct EpochEntry {
+    KvLogEntry e;
+    std::uint32_t batch = 0;
+};
+
+} // namespace
+
+GpKvs::GpKvs(Machine &m, const GpKvsParams &p) : m_(&m), p_(p)
+{
+    GPM_REQUIRE(p_.n_sets > 0 && p_.batch_ops > 0 && p_.batches > 0,
+                "empty gpKVS configuration");
+}
+
+std::uint64_t
+GpKvs::hashKey(std::uint64_t key)
+{
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t
+GpKvs::chooseWay(const KvPair *set_base, std::uint64_t key)
+{
+    for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+        if (set_base[w].key == key)
+            return w;  // update in place
+    }
+    for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+        if (set_base[w].key == 0)
+            return w;  // first free way
+    }
+    // Set full: the SET fails. Evicting here would allow two ops of
+    // one batch to write the same slot, and the order-insensitive
+    // per-thread undo of Figure 6(b) cannot restore that correctly —
+    // MegaKV-style batching likewise resolves way conflicts among the
+    // thread group before logging. Eviction happens out of band.
+    return kNoWay;
+}
+
+std::uint64_t
+GpKvs::pairAddr(std::uint32_t set, std::uint32_t way) const
+{
+    return store_.offset +
+           (std::uint64_t(set) * GpKvsParams::kWays + way) *
+               sizeof(KvPair);
+}
+
+std::vector<GpKvs::Op>
+GpKvs::makeBatch(std::uint32_t batch) const
+{
+    Rng rng = Rng(p_.seed).split(batch);
+    std::vector<Op> ops(p_.batch_ops);
+    for (Op &op : ops) {
+        op.key = rng.next() | 1;  // never the empty-slot marker
+        op.value = rng.next() | 1;
+        op.is_get = rng.chance(p_.get_ratio);
+    }
+    if (batch > 0 && p_.get_ratio > 0.0) {
+        // Make GETs meaningful: target keys the first batch SET (a
+        // read-mostly store serving its own population), falling back
+        // to random (miss) keys for every second GET.
+        const std::vector<Op> first = makeBatch(0);
+        for (std::uint32_t i = 0; i < ops.size(); ++i) {
+            if (ops[i].is_get && i % 2 == 0)
+                ops[i].key = first[i].key;
+        }
+    }
+    return ops;
+}
+
+void
+GpKvs::setup()
+{
+    store_ = gpmMap(*m_, "gpkvs.data", p_.storeBytes(), /*create=*/true);
+    meta_ = gpmMap(*m_, "gpkvs.meta", 256, /*create=*/true);
+
+    const std::uint64_t threads =
+        std::uint64_t(p_.batch_ops) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+    const std::uint32_t blocks =
+        static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+
+    if (inKernelPersistence(m_->kind()) ||
+        m_->kind() == PlatformKind::GpmNdp) {
+        if (p_.use_hcl) {
+            log_.push_back(GpmLog::createHcl(
+                *m_, "gpkvs.log", sizeof(EpochEntry),
+                /*max_entries=*/p_.batches + 1, blocks, tpb));
+        } else {
+            // Size each partition for every batch's worst case. The
+            // gtid%P placement is heavily skewed (way-0 leaders
+            // cluster on every eighth partition), so leave 8x slack.
+            const std::uint64_t part_bytes =
+                8 * ceilDiv(std::uint64_t(p_.batch_ops) *
+                                (p_.batches + 1) * sizeof(EpochEntry),
+                            p_.conv_partitions) + 4096;
+            log_.push_back(GpmLog::createConv(*m_, "gpkvs.log",
+                                              part_bytes,
+                                              p_.conv_partitions));
+        }
+    } else {
+        host_copy_.assign(std::uint64_t(p_.n_sets) * GpKvsParams::kWays,
+                          KvPair{});
+    }
+}
+
+void
+GpKvs::runBatchGpm(const std::vector<Op> &ops, bool ndp)
+{
+    get_results_.assign(ops.size(), 0);
+    const std::uint32_t batch_id =
+        m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
+
+    // Transaction prologue: flag the in-flight batch (persisted from
+    // the CPU; a CPU flush is always available regardless of DDIO).
+    const std::uint32_t flag_and_batch[2] = {1u, batch_id};
+    m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
+
+    const std::uint64_t threads =
+        std::uint64_t(ops.size()) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+
+    std::uint64_t sets_written = 0;
+    KernelDesc k;
+    k.name = "gpkvs_batch";
+    k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    k.block_threads = tpb;
+    k.phases.push_back([this, &ops, batch_id,
+                        &sets_written](ThreadCtx &ctx) {
+        const std::uint64_t gtid = ctx.globalId();
+        const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
+        if (op_idx >= ops.size())
+            return;
+        const Op &op = ops[op_idx];
+        ctx.work(40);  // hashing + probe arithmetic
+
+        if (op.is_get) {
+            if (gtid % GpKvsParams::kGroup == 0) {
+                // Served from the HBM-cached copy of the store.
+                ctx.hbmTraffic(GpKvsParams::kWays * sizeof(KvPair));
+                ctx.work(20);
+                const std::uint32_t gset = static_cast<std::uint32_t>(
+                    hashKey(op.key) % p_.n_sets);
+                KvPair gways[GpKvsParams::kWays];
+                m_->pool().read(pairAddr(gset, 0), gways,
+                                sizeof(gways));
+                get_results_[op_idx] = 0;
+                for (const KvPair &pair : gways) {
+                    if (pair.key == op.key)
+                        get_results_[op_idx] = pair.value;
+                }
+            }
+            return;
+        }
+
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            hashKey(op.key) % p_.n_sets);
+        KvPair ways[GpKvsParams::kWays];
+        m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+        ctx.hbmTraffic(sizeof(KvPair));  // this thread probes one way
+
+        const std::uint32_t way = chooseWay(ways, op.key);
+        if (gtid % GpKvsParams::kGroup != way)
+            return;  // not the leader for this op
+
+        // GPM-NDP runs the very same kernel (logging included); only
+        // the persistence guarantee moves to the CPU — the fences
+        // below complete at the volatile LLC and order without
+        // persisting (section 6.1).
+        EpochEntry entry;
+        entry.e = KvLogEntry{set, way, ways[way].key, ways[way].value};
+        entry.batch = batch_id;
+        // Conventional logs spread ops, not thread ids, over the
+        // partitions (leader thread ids cluster on way 0).
+        log_.front().insert(ctx, &entry, sizeof(entry),
+                            p_.use_hcl ? -1
+                                       : static_cast<int>(
+                                             op_idx %
+                                             p_.conv_partitions));
+        ctx.pmStore(pairAddr(set, way), KvPair{op.key, op.value});
+        gpmPersist(ctx);
+        ++sets_written;
+    });
+    m_->runKernel(k);
+    m_->advance(log_.front().consumeSerializationNs());
+
+    if (ndp) {
+        // The CPU sweeps the updated lines: KVS slot, log stripes and
+        // tail for each SET.
+        m_->cpuPersistScattered(sets_written * 3 *
+                                    m_->config().cache_line,
+                                p_.cap_threads);
+    }
+
+    // Transaction epilogue: batch committed.
+    const std::uint32_t done_and_next[2] = {0u, batch_id + 1};
+    m_->cpuWritePersist(meta_.offset, done_and_next, 8, 1);
+}
+
+void
+GpKvs::runBatchCap(const std::vector<Op> &ops)
+{
+    get_results_.assign(ops.size(), 0);
+    const std::uint64_t threads =
+        std::uint64_t(ops.size()) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+
+    // The kernel reports dirty transfer chunks so CAP can moderate
+    // the extraneous movement (section 3.2) — a chunk is still
+    // dirtied by a single 16 B update, hence Table 4's amplification.
+    std::vector<bool> dirty(
+        ceilDiv(p_.storeBytes(), p_.cap_chunk_bytes), false);
+
+    KernelDesc k;
+    k.name = "gpkvs_batch_volatile";
+    k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    k.block_threads = tpb;
+    k.phases.push_back([this, &ops, &dirty](ThreadCtx &ctx) {
+        const std::uint64_t gtid = ctx.globalId();
+        const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
+        if (op_idx >= ops.size())
+            return;
+        const Op &op = ops[op_idx];
+        ctx.work(40);
+        if (op.is_get) {
+            if (gtid % GpKvsParams::kGroup == 0) {
+                ctx.hbmTraffic(GpKvsParams::kWays * sizeof(KvPair));
+                ctx.work(20);
+                const std::uint32_t gset = static_cast<std::uint32_t>(
+                    hashKey(op.key) % p_.n_sets);
+                get_results_[op_idx] = 0;
+                for (std::uint32_t w = 0; w < GpKvsParams::kWays;
+                     ++w) {
+                    const KvPair &pair =
+                        host_copy_[std::uint64_t(gset) *
+                                   GpKvsParams::kWays + w];
+                    if (pair.key == op.key)
+                        get_results_[op_idx] = pair.value;
+                }
+            }
+            return;
+        }
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            hashKey(op.key) % p_.n_sets);
+        KvPair *base = &host_copy_[std::uint64_t(set) *
+                                   GpKvsParams::kWays];
+        ctx.hbmTraffic(sizeof(KvPair));
+        const std::uint32_t way = chooseWay(base, op.key);
+        if (gtid % GpKvsParams::kGroup != way)
+            return;
+        base[way] = KvPair{op.key, op.value};
+        ctx.hbmTraffic(sizeof(KvPair));
+        const std::uint64_t byte_off =
+            (std::uint64_t(set) * GpKvsParams::kWays + way) *
+            sizeof(KvPair);
+        dirty[byte_off / p_.cap_chunk_bytes] = true;
+    });
+    m_->runKernel(k);
+
+    // The updated indices are only known at chunk granularity; every
+    // dirty chunk is transferred and persisted in full.
+    std::vector<std::uint64_t> chunks;
+    for (std::uint64_t c = 0; c < dirty.size(); ++c) {
+        if (dirty[c])
+            chunks.push_back(c);
+    }
+    switch (m_->kind()) {
+      case PlatformKind::CapFs:
+        m_->capPersistChunks(store_.offset, host_copy_.data(), chunks,
+                             p_.cap_chunk_bytes, p_.cap_threads,
+                             /*via_fs=*/true);
+        break;
+      case PlatformKind::CapMm:
+      case PlatformKind::CapEadr:
+        m_->capPersistChunks(store_.offset, host_copy_.data(), chunks,
+                             p_.cap_chunk_bytes, p_.cap_threads,
+                             /*via_fs=*/false);
+        break;
+      default:
+        panic("runBatchCap on ", platformName(m_->kind()));
+    }
+}
+
+WorkloadResult
+GpKvs::run()
+{
+    WorkloadResult r;
+    if (m_->kind() == PlatformKind::Gpufs) {
+        // Fine-grain per-thread writes deadlock GPUfs (section 6.1).
+        r.supported = false;
+        return r;
+    }
+    setup();
+
+    const SimNs t0 = m_->now();
+    const std::uint64_t pcie0 = m_->pcieWriteBytes();
+    const std::uint64_t pay0 = m_->persistPayloadBytes();
+
+    for (std::uint32_t b = 0; b < p_.batches; ++b) {
+        const std::vector<Op> ops = makeBatch(b);
+        switch (m_->kind()) {
+          case PlatformKind::Gpm:
+            gpmPersistBegin(*m_);
+            runBatchGpm(ops, /*ndp=*/false);
+            gpmPersistEnd(*m_);
+            break;
+          case PlatformKind::GpmEadr:
+            runBatchGpm(ops, /*ndp=*/false);
+            break;
+          case PlatformKind::GpmNdp:
+            runBatchGpm(ops, /*ndp=*/true);
+            break;
+          default:
+            runBatchCap(ops);
+            break;
+        }
+        r.ops_done += static_cast<double>(ops.size());
+    }
+
+    r.op_ns = m_->now() - t0;
+    r.pcie_write_bytes = m_->pcieWriteBytes() - pcie0;
+    r.persisted_payload = m_->persistPayloadBytes() - pay0;
+
+    // Functional check: the visible store holds each batch's writes,
+    // and the last batch's GETs returned what an in-order reference
+    // execution would have observed.
+    std::vector<KvPair> mirror(std::uint64_t(p_.n_sets) *
+                               GpKvsParams::kWays);
+    for (std::uint32_t b = 0; b + 1 < p_.batches; ++b)
+        applyBatchReference(mirror, b);
+    bool gets_ok = true;
+    {
+        const std::vector<Op> last = makeBatch(p_.batches - 1);
+        for (std::uint32_t i = 0; i < last.size(); ++i) {
+            const Op &op = last[i];
+            if (op.is_get) {
+                std::uint64_t expected = 0;
+                const std::uint32_t set = static_cast<std::uint32_t>(
+                    hashKey(op.key) % p_.n_sets);
+                for (std::uint32_t w = 0; w < GpKvsParams::kWays;
+                     ++w) {
+                    const KvPair &pair =
+                        mirror[std::uint64_t(set) *
+                               GpKvsParams::kWays + w];
+                    if (pair.key == op.key)
+                        expected = pair.value;
+                }
+                gets_ok = gets_ok && get_results_[i] == expected;
+                continue;
+            }
+            KvPair *base = &mirror[std::uint64_t(hashKey(op.key) %
+                                                 p_.n_sets) *
+                                   GpKvsParams::kWays];
+            const std::uint32_t way = chooseWay(base, op.key);
+            if (way != kNoWay)
+                base[way] = KvPair{op.key, op.value};
+        }
+    }
+    if (inKernelPersistence(m_->kind()) ||
+        m_->kind() == PlatformKind::GpmNdp) {
+        r.verified = std::memcmp(m_->pool().visible() + store_.offset,
+                                 mirror.data(), p_.storeBytes()) == 0;
+    } else {
+        r.verified = std::memcmp(host_copy_.data(), mirror.data(),
+                                 p_.storeBytes()) == 0;
+    }
+    r.verified = r.verified && gets_ok;
+    return r;
+}
+
+void
+GpKvs::recover()
+{
+    const std::uint32_t crashed_batch =
+        m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
+
+    const std::uint64_t threads =
+        std::uint64_t(p_.batch_ops) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+
+    GpmLog log = GpmLog::open(*m_, "gpkvs.log");
+    KernelDesc k;
+    k.name = "gpkvs_recover";
+    k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    k.block_threads = tpb;
+    k.phases.push_back([this, &log, crashed_batch](ThreadCtx &ctx) {
+        EpochEntry entry;
+        if (!log.read(ctx, &entry, sizeof(entry)))
+            return;
+        // Entries from earlier, committed batches must not be undone.
+        if (entry.batch != crashed_batch)
+            return;
+        ctx.pmStore(pairAddr(entry.e.set, entry.e.way),
+                    KvPair{entry.e.old_key, entry.e.old_value});
+        gpmPersist(ctx);
+        // Only drop the log entry once the undo itself is durable —
+        // recovery must stay recoverable (section 5.2).
+        log.remove(ctx, sizeof(entry));
+    });
+    m_->runKernel(k);
+    m_->advance(log.consumeSerializationNs());
+
+    const std::uint32_t zero = 0;
+    m_->cpuWritePersist(meta_.offset + kTxnFlagOff, &zero, 4, 1);
+}
+
+WorkloadResult
+GpKvs::runWithCrash(std::uint32_t crash_batch, double frac,
+                    double survive_prob)
+{
+    GPM_REQUIRE(inKernelPersistence(m_->kind()),
+                "crash recovery needs in-kernel persistence");
+    GPM_REQUIRE(p_.use_hcl,
+                "per-thread undo recovery requires the HCL log");
+    GPM_REQUIRE(crash_batch < p_.batches, "crash batch out of range");
+    GPM_REQUIRE(frac >= 0.0 && frac <= 1.0, "bad crash fraction");
+
+    setup();
+    WorkloadResult r;
+
+    // Reference state: every batch before the crashed one, applied.
+    std::vector<KvPair> reference(std::uint64_t(p_.n_sets) *
+                                  GpKvsParams::kWays);
+    for (std::uint32_t b = 0; b < crash_batch; ++b)
+        applyBatchReference(reference, b);
+
+    const SimNs t0 = m_->now();
+    bool ndp = false;
+    for (std::uint32_t b = 0; b < crash_batch; ++b) {
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);
+        runBatchGpm(makeBatch(b), ndp);
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistEnd(*m_);
+        r.ops_done += p_.batch_ops;
+    }
+    const SimNs clean_ns = m_->now() - t0;
+
+    // The doomed batch: arm the crash point mid-kernel.
+    {
+        const std::vector<Op> ops = makeBatch(crash_batch);
+        const std::uint32_t batch_id = crash_batch;
+        const std::uint32_t flag_and_batch[2] = {1u, batch_id};
+        m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);
+
+        const std::uint64_t threads =
+            std::uint64_t(ops.size()) * GpKvsParams::kGroup;
+        const std::uint32_t tpb = 256;
+        KernelDesc k;
+        k.name = "gpkvs_batch_crashing";
+        k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+        k.block_threads = tpb;
+        k.crash = CrashPoint{static_cast<std::uint64_t>(
+            frac * static_cast<double>(threads))};
+        k.phases.push_back([this, &ops, batch_id](ThreadCtx &ctx) {
+            const std::uint64_t gtid = ctx.globalId();
+            const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
+            if (op_idx >= ops.size())
+                return;
+            const Op &op = ops[op_idx];
+            if (op.is_get)
+                return;
+            const std::uint32_t set = static_cast<std::uint32_t>(
+                hashKey(op.key) % p_.n_sets);
+            KvPair ways[GpKvsParams::kWays];
+            m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+            const std::uint32_t way = chooseWay(ways, op.key);
+            if (gtid % GpKvsParams::kGroup != way)
+                return;
+            EpochEntry entry;
+            entry.e = KvLogEntry{set, way, ways[way].key,
+                                 ways[way].value};
+            entry.batch = batch_id;
+            log_.front().insert(ctx, &entry, sizeof(entry));
+            ctx.pmStore(pairAddr(set, way),
+                        KvPair{op.key, op.value});
+            gpmPersist(ctx);
+        });
+        bool crashed = false;
+        try {
+            m_->runKernel(k);
+        } catch (const KernelCrashed &) {
+            crashed = true;
+        }
+        GPM_ASSERT(crashed || frac >= 1.0,
+                   "crash point did not fire");
+        m_->pool().crash(survive_prob);
+    }
+
+    // Reboot: recover if the durable flag says a batch was in flight.
+    const SimNs r0 = m_->now();
+    if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) == 1)
+        recover();
+    r.recovery_ns = m_->now() - r0;
+    r.op_ns = clean_ns;
+
+    r.verified = durableEquals(reference);
+    return r;
+}
+
+bool
+GpKvs::durableEquals(const std::vector<KvPair> &reference) const
+{
+    return std::memcmp(m_->pool().durable() + store_.offset,
+                       reference.data(),
+                       reference.size() * sizeof(KvPair)) == 0;
+}
+
+bool
+GpKvs::lookup(std::uint64_t key, std::uint64_t &value_out) const
+{
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(hashKey(key) % p_.n_sets);
+    for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+        const KvPair pair =
+            m_->pool().load<KvPair>(pairAddr(set, w));
+        if (pair.key == key) {
+            value_out = pair.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+GpKvs::applyBatchReference(std::vector<KvPair> &mirror,
+                           std::uint32_t batch) const
+{
+    for (const Op &op : makeBatch(batch)) {
+        if (op.is_get)
+            continue;
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            hashKey(op.key) % p_.n_sets);
+        KvPair *base = &mirror[std::uint64_t(set) * GpKvsParams::kWays];
+        const std::uint32_t way = chooseWay(base, op.key);
+        if (way == kNoWay)
+            continue;  // SET failed: the set is full
+        base[way] = KvPair{op.key, op.value};
+    }
+}
+
+} // namespace gpm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * gpKVS: the GPU-accelerated persistent key-value store of GPMbench
+ * (Table 1, transactional class; derived from MegaKV in the paper).
+ *
+ * The store is an 8-way set-associative array of (key, value) pairs
+ * living on PM. A batch of SETs runs as a GPU kernel where groups of
+ * THRD_GRP_SZ = 8 threads cooperate per operation: each thread probes
+ * one way of the hashed set, and the thread owning the selected way
+ * becomes the leader that (a) undo-logs the pair being replaced via
+ * gpmlog_insert, (b) stores the new pair, and (c) persists it — the
+ * exact flow of Figure 6(a). Recovery (Figure 6(b)) undoes the last
+ * partially executed batch from the log.
+ *
+ * On CAP platforms the kernel updates a volatile device-resident copy
+ * and the whole store is transferred and persisted afterwards — the
+ * source of Table 4's ~39x write amplification.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpm/gpm_log.hpp"
+#include "workloads/workload.hpp"
+
+namespace gpm {
+
+/** One stored pair; 8 B keys and values per the paper's Figure 1a. */
+struct KvPair {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+
+    bool
+    operator==(const KvPair &o) const
+    {
+        return key == o.key && value == o.value;
+    }
+};
+
+/** gpKVS sizing and batch mix. */
+struct GpKvsParams {
+    std::uint32_t n_sets = 1u << 17;  ///< 131072 sets x 8 ways = 16 MiB
+    std::uint32_t batch_ops = 32768;  ///< operations per batch
+    std::uint32_t batches = 4;        ///< number of batches
+    double get_ratio = 0.0;           ///< fraction of GETs per batch
+    std::uint64_t seed = 42;          ///< key/value stream seed
+    bool use_hcl = true;              ///< HCL vs conventional log
+    std::uint32_t conv_partitions = 16;  ///< conventional-log partitions
+    int cap_threads = 32;             ///< CPU persist threads under CAP
+    std::uint64_t cap_chunk_bytes = 4096;  ///< CAP dirty-chunk granule
+
+    static constexpr std::uint32_t kWays = 8;
+    static constexpr std::uint32_t kGroup = 8;  ///< THRD_GRP_SZ
+
+    std::uint64_t
+    storeBytes() const
+    {
+        return std::uint64_t(n_sets) * kWays * sizeof(KvPair);
+    }
+};
+
+/** Undo-log record for one SET (Figure 6a's log_entry). */
+struct KvLogEntry {
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    std::uint64_t old_key = 0;
+    std::uint64_t old_value = 0;
+};
+
+/** gpKVS instance bound to one Machine. */
+class GpKvs
+{
+  public:
+    GpKvs(Machine &m, const GpKvsParams &p);
+
+    /** Map PM regions, create the log, zero the store. Charged as
+     *  one-time setup (excluded from operation time). */
+    void setup();
+
+    /** Run every batch; returns operation-time results. */
+    WorkloadResult run();
+
+    /**
+     * Run batches, crash during batch @p crash_batch after a fraction
+     * @p frac of its thread-phase executions, let unpersisted lines
+     * survive with probability @p survive_prob, recover, then verify
+     * the durable store equals the pre-batch reference.
+     *
+     * Only meaningful on platforms with in-kernel persistence.
+     */
+    WorkloadResult runWithCrash(std::uint32_t crash_batch, double frac,
+                                double survive_prob);
+
+    /** The durable store equals @p reference? */
+    bool durableEquals(const std::vector<KvPair> &reference) const;
+
+    /** Visible-store lookup (functional checks). */
+    bool lookup(std::uint64_t key, std::uint64_t &value_out) const;
+
+    /** Result of GET op @p i of the most recent batch (0 = miss). */
+    std::uint64_t
+    getResult(std::uint32_t i) const
+    {
+        GPM_REQUIRE(i < get_results_.size(), "GET index out of range");
+        return get_results_[i];
+    }
+
+    /** Reference model: apply one batch to a host-side mirror using
+     *  exactly the kernel's placement policy. */
+    void applyBatchReference(std::vector<KvPair> &mirror,
+                             std::uint32_t batch) const;
+
+    static std::uint64_t hashKey(std::uint64_t key);
+
+    /** chooseWay result when the target set is full (the SET fails). */
+    static constexpr std::uint32_t kNoWay = 0xffffffffu;
+
+  private:
+    struct Op {
+        std::uint64_t key;
+        std::uint64_t value;
+        bool is_get;
+    };
+
+    std::vector<Op> makeBatch(std::uint32_t batch) const;
+    static std::uint32_t chooseWay(const KvPair *set_base,
+                                   std::uint64_t key);
+
+    /** GPM-family batch: in-kernel logging + persistence. */
+    void runBatchGpm(const std::vector<Op> &ops, bool ndp);
+    /** CAP-family batch: volatile update + bulk transfer + persist. */
+    void runBatchCap(const std::vector<Op> &ops);
+    /** Launch the recovery kernel of Figure 6(b). */
+    void recover();
+
+    std::uint64_t pairAddr(std::uint32_t set, std::uint32_t way) const;
+
+    Machine *m_;
+    GpKvsParams p_;
+    PmRegion store_;
+    PmRegion meta_;   ///< [0]: txn_active flag
+    std::vector<GpmLog> log_;          ///< one log (vector for lazy init)
+    std::vector<KvPair> host_copy_;    ///< CAP's volatile device copy
+    std::vector<std::uint64_t> get_results_;  ///< last batch's GETs
+};
+
+} // namespace gpm

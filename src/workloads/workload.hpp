@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Common result type and helpers for the GPMbench workloads (Table 1).
+ *
+ * Every workload exposes a Params struct with paper-shaped defaults
+ * (scaled ~10-50x down from Table 1 so the functional simulation runs
+ * in seconds; see DESIGN.md) and a run() entry point that executes the
+ * workload on whatever platform the given Machine models.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+#include "platform/machine.hpp"
+
+namespace gpm {
+
+/** Outcome of one workload execution on one platform. */
+struct WorkloadResult {
+    bool supported = true;     ///< false: platform cannot run it (GPUfs)
+    SimNs op_ns = 0;           ///< operation time (compute + persistence)
+    SimNs persist_ns = 0;      ///< persistence-only time where separable
+                               ///< (checkpoint operations; 0 otherwise)
+    SimNs recovery_ns = 0;     ///< restoration latency (Table 5); 0 if n/a
+    std::uint64_t persisted_payload = 0;  ///< Table 4 numerator/denominator
+    std::uint64_t pcie_write_bytes = 0;   ///< Fig 12 numerator
+    double ops_done = 0;       ///< workload-specific operation count
+    bool verified = true;      ///< functional output check passed
+
+    /** Throughput in Mops/s over the operation time. */
+    double
+    mops() const
+    {
+        return op_ns > 0 ? ops_done * 1e3 / op_ns : 0.0;
+    }
+};
+
+/**
+ * Charge the simulated clock for GPU computation performed host-side.
+ *
+ * Compute-heavy phases (DNN math, stencils) execute functionally in
+ * plain C++ for speed; their GPU cost is the max of ALU time and HBM
+ * traffic time, plus one launch (the same composition Machine uses
+ * for recorded kernels).
+ */
+inline void
+chargeGpuCompute(Machine &m, double ops, std::uint64_t hbm_bytes,
+                 bool charge_launch = true)
+{
+    const SimConfig &cfg = m.config();
+    const SimNs compute = ops / cfg.gpu_ops_per_ns;
+    const SimNs mem = transferNs(hbm_bytes, cfg.hbm_gbps);
+    m.advance((charge_launch ? cfg.kernel_launch_ns : 0.0) +
+              std::max(compute, mem));
+}
+
+/** Charge CPU computation executed functionally host-side. */
+inline void
+chargeCpuCompute(Machine &m, double ops, int threads)
+{
+    m.cpuCompute(ops, threads);
+}
+
+} // namespace gpm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Binomial-options tests: CRR pricing correctness (convergence to the
+ * Black–Scholes closed form), platform coverage, and the section 4.3
+ * claim that GPM gains almost nothing without persist parallelism.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/binomial.hpp"
+#include "workloads/blackscholes.hpp"
+
+namespace gpm {
+namespace {
+
+TEST(Binomial, ConvergesToBlackScholes)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    BinomialParams p;
+    p.options = 16;
+    p.steps = 512;  // deep tree: tight convergence
+    GpBinomial app(m, p);
+    app.setup();
+
+    // Closed-form European call with the same r = 2 %.
+    auto bs_call = [](float s, float k, float v, float t) {
+        const float sqrt_t = std::sqrt(t);
+        const float d1 =
+            (std::log(s / k) + (0.02f + 0.5f * v * v) * t) /
+            (v * sqrt_t);
+        const float d2 = d1 - v * sqrt_t;
+        auto cdf = [](float x) {
+            return 0.5f * std::erfc(-x * 0.70710678f);
+        };
+        return s * cdf(d1) - k * std::exp(-0.02f * t) * cdf(d2);
+    };
+
+    for (std::uint32_t i = 0; i < p.options; ++i) {
+        float s, k, v, t;
+        app.option(i, s, k, v, t);
+        const float tree = app.referencePrice(i);
+        const float closed = bs_call(s, k, v, t);
+        EXPECT_NEAR(tree, closed, 0.01f * s + 0.05f)
+            << "option " << i;
+    }
+}
+
+TEST(Binomial, RunsAndPersistsOnGpm)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    BinomialParams p;
+    p.options = 64;
+    p.steps = 64;
+    GpBinomial app(m, p);
+    const WorkloadResult r = app.run();
+    EXPECT_TRUE(r.verified);
+    // Results are durable after the in-kernel persists.
+    m.pool().crash();
+    EXPECT_EQ(app.durablePrice(7), app.referencePrice(7));
+}
+
+TEST(Binomial, RunsOnCapPlatforms)
+{
+    for (PlatformKind kind : {PlatformKind::CapFs, PlatformKind::CapMm,
+                              PlatformKind::GpmNdp,
+                              PlatformKind::GpmEadr}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 16_MiB);
+        BinomialParams p;
+        p.options = 32;
+        p.steps = 32;
+        GpBinomial app(m, p);
+        EXPECT_TRUE(app.run().supported) << platformName(kind);
+    }
+}
+
+TEST(Binomial, GpmGainsLittleWithoutPersistParallelism)
+{
+    // The section 4.3 claim, as a regression test: GPM's advantage
+    // over CAP-fs is at most ~2x here, far under the GPMbench range.
+    SimConfig cfg;
+    Machine fs(cfg, PlatformKind::CapFs, 16_MiB);
+    Machine gp(cfg, PlatformKind::Gpm, 16_MiB);
+    BinomialParams p;
+    GpBinomial a(fs, p), b(gp, p);
+    const SimNs cap_ns = a.run().op_ns;
+    const SimNs gpm_ns = b.run().op_ns;
+    EXPECT_LT(cap_ns / gpm_ns, 2.0);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deeper tests of the CPU PM KVS engines' internals: LSM memtable
+ * spills, WAL truncation, recovery-by-replay after losing the
+ * memtable, and the media traffic each design generates (the
+ * structural terms behind Fig 1a).
+ */
+#include <gtest/gtest.h>
+
+#include "cpubaseline/cpu_kvs.hpp"
+
+namespace gpm {
+namespace {
+
+CpuKvsParams
+tiny(std::uint32_t memtable_ops)
+{
+    CpuKvsParams p;
+    p.n_sets = 1u << 10;
+    p.batch_ops = 512;
+    p.batches = 2;
+    p.memtable_ops = memtable_ops;
+    return p;
+}
+
+TEST(CpuKvsInternals, LsmSpillsAndStillServesLookups)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    // Spill threshold far below the op count: multiple spills happen.
+    CpuPmKvs kvs(m, CpuKvsDesign::LsmWal, tiny(128));
+    const WorkloadResult r = kvs.run();
+    EXPECT_TRUE(r.verified);
+    // All committed keys are found whether they sit in the memtable
+    // or in spilled runs (crashAndRecover checks every key).
+    EXPECT_TRUE(kvs.crashAndRecover(0.0));
+}
+
+TEST(CpuKvsInternals, WalReplayRebuildsTheMemtable)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB, 17);
+    // Huge threshold: nothing spills, recovery rests on WAL replay.
+    CpuPmKvs kvs(m, CpuKvsDesign::LsmWal, tiny(1u << 20));
+    ASSERT_TRUE(kvs.run().verified);
+    for (const double survive : {0.0, 0.5, 1.0})
+        EXPECT_TRUE(kvs.crashAndRecover(survive)) << survive;
+}
+
+TEST(CpuKvsInternals, HashDesignIsPerOpDurable)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    CpuPmKvs kvs(m, CpuKvsDesign::HashDirect, tiny(64));
+    ASSERT_TRUE(kvs.run().verified);
+    // Every SET flushed + fenced: nothing pending to lose.
+    EXPECT_EQ(m.pool().pendingExtents(), 0u);
+    EXPECT_TRUE(kvs.crashAndRecover(0.0));
+}
+
+TEST(CpuKvsInternals, MatrixDesignWritesLessThanLsm)
+{
+    // MatrixKV's raison d'etre: lower compaction write amplification.
+    SimConfig cfg;
+    Machine lsm_m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    Machine mtx_m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    CpuPmKvs lsm(lsm_m, CpuKvsDesign::LsmWal, tiny(128));
+    CpuPmKvs mtx(mtx_m, CpuKvsDesign::MatrixLsm, tiny(128));
+    const WorkloadResult rl = lsm.run();
+    const WorkloadResult rm = mtx.run();
+    EXPECT_GT(rl.op_ns, rm.op_ns);  // compaction costs time
+}
+
+TEST(CpuKvsInternals, RejectsNonCpuPlatforms)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    EXPECT_THROW(CpuPmKvs(m, CpuKvsDesign::HashDirect, tiny(64)),
+                 FatalError);
+}
+
+} // namespace
+} // namespace gpm

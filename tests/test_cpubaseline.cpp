@@ -1,0 +1,140 @@
+/**
+ * @file
+ * CPU baseline tests: the three PM KVS designs (Fig 1a comparators)
+ * and the CPU PM applications (Fig 1b / section 6.1 comparators).
+ */
+#include <gtest/gtest.h>
+
+#include "cpubaseline/cpu_apps.hpp"
+#include "cpubaseline/cpu_kvs.hpp"
+
+namespace gpm {
+namespace {
+
+CpuKvsParams
+kvsParams()
+{
+    CpuKvsParams p;
+    p.n_sets = 1u << 12;
+    p.batch_ops = 2048;
+    p.batches = 2;
+    return p;
+}
+
+class CpuKvsAll : public ::testing::TestWithParam<int>
+{
+  protected:
+    CpuKvsDesign
+    design() const
+    {
+        return static_cast<CpuKvsDesign>(GetParam());
+    }
+};
+
+TEST_P(CpuKvsAll, RunsAndLookupsWork)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    CpuPmKvs kvs(m, design(), kvsParams());
+    const WorkloadResult r = kvs.run();
+    EXPECT_TRUE(r.verified) << cpuKvsName(design());
+    EXPECT_GT(r.mops(), 0.0);
+}
+
+TEST_P(CpuKvsAll, SurvivesCrashAndRecovers)
+{
+    for (const double survive : {0.0, 0.5}) {
+        SimConfig cfg;
+        Machine m(cfg, PlatformKind::CpuOnly, 64_MiB, 11);
+        CpuPmKvs kvs(m, design(), kvsParams());
+        ASSERT_TRUE(kvs.run().verified);
+        EXPECT_TRUE(kvs.crashAndRecover(survive))
+            << cpuKvsName(design()) << " survive=" << survive;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, CpuKvsAll, ::testing::Range(0, 3));
+
+TEST(CpuKvs, ThroughputOrderingMatchesFig1a)
+{
+    // pmemKV slowest, RocksDB middle, MatrixKV fastest (Fig 1a).
+    double mops[3] = {};
+    for (int d = 0; d < 3; ++d) {
+        SimConfig cfg;
+        Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+        CpuPmKvs kvs(m, static_cast<CpuKvsDesign>(d), kvsParams());
+        mops[d] = kvs.run().mops();
+    }
+    EXPECT_LT(mops[0], mops[1]);
+    EXPECT_LT(mops[1], mops[2]);
+}
+
+// ---- CPU applications ----------------------------------------------------
+
+TEST(CpuApps, BfsMatchesReference)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    BfsParams p;
+    p.grid_w = 24;
+    p.grid_h = 96;
+    p.shortcuts = 32;
+    EXPECT_TRUE(runCpuBfs(m, p).verified);
+}
+
+TEST(CpuApps, SradMatchesReference)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    SradParams p;
+    p.width = 96;
+    p.height = 64;
+    p.iterations = 3;
+    EXPECT_TRUE(runCpuSrad(m, p).verified);
+}
+
+TEST(CpuApps, PrefixSumRuns)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+    PsParams p;
+    p.blocks = 32;
+    p.block_threads = 128;
+    p.elems_per_thread = 8;
+    EXPECT_TRUE(runCpuPrefixSum(m, p).verified);
+}
+
+TEST(CpuApps, DbRunsBothTxnKinds)
+{
+    SimConfig cfg;
+    GpDbParams p;
+    p.initial_rows = 1u << 13;
+    p.insert_rows = 1024;
+    p.update_rows = 512;
+    for (const auto kind :
+         {GpDb::TxnKind::Insert, GpDb::TxnKind::Update}) {
+        Machine m(cfg, PlatformKind::CpuOnly, 64_MiB);
+        const WorkloadResult r = runCpuDb(m, p, kind);
+        EXPECT_TRUE(r.verified);
+        EXPECT_GT(r.op_ns, 0.0);
+    }
+}
+
+TEST(CpuApps, GpmBeatsCpuOnNativeApps)
+{
+    // Fig 1b's direction: the GPU+PM version outruns CPU+PM.
+    SimConfig cfg;
+    BfsParams bp;
+    bp.grid_w = 24;
+    bp.grid_h = 96;
+    bp.shortcuts = 32;
+    Machine mc(cfg, PlatformKind::CpuOnly, 64_MiB);
+    Machine mg(cfg, PlatformKind::Gpm, 64_MiB);
+    const WorkloadResult rc = runCpuBfs(mc, bp);
+    GpBfs bfs(mg, bp);
+    const WorkloadResult rg = bfs.run();
+    EXPECT_LT(rg.op_ns, rc.op_ns);
+}
+
+} // namespace
+} // namespace gpm

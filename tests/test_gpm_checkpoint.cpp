@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit + property tests for libGPM checkpointing: creation, group
+ * registration, checkpoint/restore round trips, double-buffer flip
+ * atomicity under injected crashes, and platform routing.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpm/gpm_checkpoint.hpp"
+#include "gpm/gpm_runtime.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace gpm {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t salt)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(i * 31 + salt);
+    return v;
+}
+
+TEST(GpmCheckpoint, CreateOpenAndGeometry)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 1000, 4, 3);
+    EXPECT_EQ(cp.header().groups, 3u);
+    EXPECT_EQ(cp.header().group_capacity, alignUp(1000, 256));
+    EXPECT_TRUE(isAligned(cp.bufferAddr(0, 0), 256));
+    EXPECT_TRUE(isAligned(cp.bufferAddr(2, 1), 256));
+
+    GpmCheckpoint reopened = GpmCheckpoint::open(m, "cp");
+    EXPECT_EQ(reopened.header().group_capacity,
+              cp.header().group_capacity);
+    EXPECT_THROW(GpmCheckpoint::open(m, "absent"), FatalError);
+}
+
+TEST(GpmCheckpoint, RegistrationLimits)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 512, 2, 1);
+    std::vector<std::uint8_t> a(100), b(100), c(100);
+    cp.registerData(0, a.data(), a.size());
+    cp.registerData(0, b.data(), b.size());
+    EXPECT_THROW(cp.registerData(0, c.data(), c.size()), FatalError);
+    EXPECT_THROW(cp.registerData(5, a.data(), 1), FatalError);
+
+    GpmCheckpoint big = GpmCheckpoint::create(m, "cp2", 256, 8, 1);
+    std::vector<std::uint8_t> huge(600);
+    EXPECT_THROW(big.registerData(0, huge.data(), huge.size()),
+                 FatalError);
+}
+
+TEST(GpmCheckpoint, CheckpointRestoreRoundTrip)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 4096, 4, 1);
+    std::vector<std::uint8_t> a = pattern(1000, 1);
+    std::vector<std::uint8_t> b = pattern(500, 2);
+    cp.registerData(0, a.data(), a.size());
+    cp.registerData(0, b.data(), b.size());
+    cp.checkpoint(0);
+    EXPECT_EQ(cp.sequence(0), 1u);
+
+    // Clobber the volatile state, restore, verify both structures.
+    std::fill(a.begin(), a.end(), 0);
+    std::fill(b.begin(), b.end(), 0);
+    cp.restore(0);
+    EXPECT_EQ(a, pattern(1000, 1));
+    EXPECT_EQ(b, pattern(500, 2));
+}
+
+TEST(GpmCheckpoint, GroupsAreIndependent)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 2048, 2, 2);
+    std::vector<std::uint8_t> g0 = pattern(512, 3);
+    std::vector<std::uint8_t> g1 = pattern(512, 4);
+    cp.registerData(0, g0.data(), g0.size());
+    cp.registerData(1, g1.data(), g1.size());
+
+    cp.checkpoint(0);
+    cp.checkpoint(0);
+    cp.checkpoint(1);
+    EXPECT_EQ(cp.sequence(0), 2u);
+    EXPECT_EQ(cp.sequence(1), 1u);
+
+    std::fill(g0.begin(), g0.end(), 0);
+    cp.restore(0);
+    EXPECT_EQ(g0, pattern(512, 3));
+    std::fill(g1.begin(), g1.end(), 0);
+    cp.restore(1);
+    EXPECT_EQ(g1, pattern(512, 4));
+}
+
+TEST(GpmCheckpoint, DoubleBufferFlipAlternates)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 256, 1, 1);
+    std::vector<std::uint8_t> data = pattern(256, 5);
+    cp.registerData(0, data.data(), data.size());
+    const std::uint32_t v0 = cp.validIndex(0);
+    cp.checkpoint(0);
+    EXPECT_EQ(cp.validIndex(0), v0 ^ 1u);
+    cp.checkpoint(0);
+    EXPECT_EQ(cp.validIndex(0), v0);
+}
+
+TEST(GpmCheckpoint, EmptyGroupOperationsAreUserErrors)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 256, 1, 1);
+    EXPECT_THROW(cp.checkpoint(0), FatalError);
+    EXPECT_THROW(cp.restore(0), FatalError);
+}
+
+class CheckpointCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CheckpointCrash, MidCheckpointCrashKeepsPreviousCopy)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB,
+              static_cast<std::uint64_t>(GetParam()) + 1);
+    GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 64_KiB, 2, 1);
+    std::vector<std::uint8_t> data = pattern(60000, 6);
+    cp.registerData(0, data.data(), data.size());
+    cp.checkpoint(0);  // consistent copy: pattern(6)
+    const std::uint32_t valid_before = cp.validIndex(0);
+
+    // New volatile state; die mid-copy at a swept fraction.
+    data = pattern(60000, 7);
+    cp.armCrashNextCheckpoint(0.1 * GetParam());
+    try {
+        cp.checkpoint(0);
+        FAIL() << "crash did not fire";
+    } catch (const KernelCrashed &) {
+    }
+    m.pool().crash(/*survive_prob=*/(GetParam() % 3) * 0.4);
+
+    // Reboot: the flip never happened; restore yields the old copy.
+    GpmCheckpoint reopened = GpmCheckpoint::open(m, "cp");
+    EXPECT_EQ(reopened.validIndex(0), valid_before);
+    std::vector<std::uint8_t> out(60000, 0);
+    reopened.registerData(0, out.data(), out.size());
+    reopened.restore(0);
+    EXPECT_EQ(out, pattern(60000, 6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fracs, CheckpointCrash,
+                         ::testing::Range(0, 9));
+
+TEST(GpmCheckpoint, WorksOnEveryPlatform)
+{
+    for (PlatformKind kind :
+         {PlatformKind::Gpm, PlatformKind::GpmNdp, PlatformKind::GpmEadr,
+          PlatformKind::CapFs, PlatformKind::CapMm,
+          PlatformKind::CapEadr, PlatformKind::Gpufs,
+          PlatformKind::CpuOnly}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 8192, 1, 1);
+        std::vector<std::uint8_t> data = pattern(8000, 8);
+        cp.registerData(0, data.data(), data.size());
+        cp.checkpoint(0);
+        std::fill(data.begin(), data.end(), 0);
+        cp.restore(0);
+        EXPECT_EQ(data, pattern(8000, 8)) << platformName(kind);
+        // Whatever the platform, a crash after the checkpoint must
+        // preserve the data (it was reported persistent).
+        m.pool().crash();
+        std::fill(data.begin(), data.end(), 0);
+        cp.restore(0);
+        EXPECT_EQ(data, pattern(8000, 8)) << platformName(kind);
+    }
+}
+
+TEST(GpmCheckpoint, ChargesLessTimeOnGpmThanCapFs)
+{
+    SimConfig cfg;
+    Machine a(cfg, PlatformKind::Gpm, 64_MiB);
+    Machine b(cfg, PlatformKind::CapFs, 64_MiB);
+    std::vector<std::uint8_t> data = pattern(1 << 20, 9);
+    auto run = [&](Machine &m) {
+        GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", data.size(),
+                                                 1, 1);
+        cp.registerData(0, data.data(), data.size());
+        const SimNs t0 = m.now();
+        cp.checkpoint(0);
+        return m.now() - t0;
+    };
+    EXPECT_LT(run(a), run(b));
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * GPUfs comparator tests: the block-cooperative file API, the 2 GB
+ * file limit, and the per-thread-misuse deadlock the paper reports —
+ * the behaviours behind Fig 9's "*" entries.
+ */
+#include <gtest/gtest.h>
+
+#include "gpusim/kernel.hpp"
+#include "platform/gpufs_api.hpp"
+
+namespace gpm {
+namespace {
+
+TEST(Gpufs, RequiresGpufsPlatform)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    EXPECT_THROW(GpufsFile(m, "f", 4096), FatalError);
+}
+
+TEST(Gpufs, EnforcesTwoGigabyteFileLimit)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 16_MiB);
+    EXPECT_THROW(GpufsFile(m, "huge", (std::uint64_t(2) << 30) + 1),
+                 FatalError);
+}
+
+TEST(Gpufs, BlockCooperativeWriteAndReadBack)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 16_MiB);
+    GpufsFile file(m, "data", 64_KiB);
+
+    std::vector<std::uint32_t> chunk(256);
+    for (std::size_t i = 0; i < chunk.size(); ++i)
+        chunk[i] = static_cast<std::uint32_t>(i * 3);
+
+    // Every thread of every block reaches the call site (the real
+    // library barriers internally); block b writes its own 1 KiB.
+    KernelDesc k;
+    k.name = "gwrite";
+    k.blocks = 4;
+    k.block_threads = 64;
+    k.phases.push_back([&](ThreadCtx &ctx) {
+        file.gwrite(ctx, std::uint64_t(ctx.blockIdx()) * 1024,
+                    chunk.data(), 1024);
+    });
+    m.runKernel(k);
+
+    std::vector<std::uint32_t> back(256, 0);
+    KernelDesc r;
+    r.name = "gread";
+    r.blocks = 1;
+    r.block_threads = 64;
+    r.phases.push_back([&](ThreadCtx &ctx) {
+        file.gread(ctx, 3 * 1024, back.data(), 1024);
+    });
+    m.runKernel(r);
+    EXPECT_EQ(back, chunk);
+    EXPECT_NO_THROW(file.close());
+
+    // Data persisted through the host OS: survives a crash.
+    m.pool().crash();
+    EXPECT_EQ(m.pool().loadDurable<std::uint32_t>(
+                  file.region().offset + 2 * 1024 + 40),
+              chunk[10]);
+}
+
+TEST(Gpufs, PerThreadMisuseDeadlocks)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 16_MiB);
+    GpufsFile file(m, "data", 4096);
+
+    // Fine-grain style: only one thread of the block calls gwrite —
+    // exactly how the GPMbench transactional/native workloads would
+    // have to use it, and why they fail on GPUfs.
+    KernelDesc k;
+    k.name = "per_thread_write";
+    k.blocks = 2;
+    k.block_threads = 32;
+    std::uint32_t payload = 7;
+    k.phases.push_back([&](ThreadCtx &ctx) {
+        if (ctx.threadIdx() == 0)
+            file.gwrite(ctx, ctx.blockIdx() * 4, &payload, 4);
+    });
+    m.runKernel(k);
+    EXPECT_THROW(file.close(), GpufsDeadlock);
+}
+
+TEST(Gpufs, WriteBeyondEofIsUserError)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 16_MiB);
+    GpufsFile file(m, "data", 1024);
+    KernelDesc k;
+    k.name = "overflow";
+    k.blocks = 1;
+    k.block_threads = 32;
+    std::uint64_t v = 0;
+    k.phases.push_back(
+        [&](ThreadCtx &ctx) { file.gwrite(ctx, 1020, &v, 8); });
+    EXPECT_THROW(m.runKernel(k), FatalError);
+}
+
+TEST(Gpufs, RpcCostsMakeItSlowerThanGpmPersists)
+{
+    SimConfig cfg;
+    // The same 64 KiB persisted: GPUfs pays per-block RPCs + the OS
+    // write path; GPM streams it from the kernel.
+    Machine g(cfg, PlatformKind::Gpufs, 16_MiB);
+    GpufsFile file(g, "data", 64_KiB);
+    std::vector<std::uint8_t> buf(1024, 1);
+    KernelDesc k;
+    k.name = "gwrite_all";
+    k.blocks = 64;
+    k.block_threads = 64;
+    k.phases.push_back([&](ThreadCtx &ctx) {
+        file.gwrite(ctx, std::uint64_t(ctx.blockIdx()) * 1024,
+                    buf.data(), 1024);
+    });
+    const SimNs t0 = g.now();
+    g.runKernel(k);
+    const SimNs gpufs_ns = g.now() - t0;
+
+    // 64 blocks x 40 us RPC floor.
+    EXPECT_GT(gpufs_ns, 64 * cfg.gpufs_call_ns);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the iterative checkpointing workloads (DNN, CFD, BLK, HS):
+ * functional behaviour, platform coverage, checkpoint/restore/resume
+ * correctness and mid-checkpoint crash atomicity.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "workloads/blackscholes.hpp"
+#include "workloads/cfd.hpp"
+#include "workloads/dnn.hpp"
+#include "workloads/hotspot.hpp"
+
+namespace gpm {
+namespace {
+
+std::unique_ptr<IterativeApp>
+makeApp(int which)
+{
+    switch (which) {
+      case 0: return std::make_unique<DnnApp>(DnnParams{});
+      case 1: return std::make_unique<CfdApp>(CfdParams{});
+      case 2: return std::make_unique<BlackScholesApp>(BlkParams{});
+      default: return std::make_unique<HotspotApp>(HotspotParams{});
+    }
+}
+
+IterativeParams
+schedule()
+{
+    IterativeParams p;
+    p.iterations = 12;
+    p.checkpoint_every = 4;
+    return p;
+}
+
+TEST(Dnn, LossDecreasesWithTraining)
+{
+    DnnApp app{DnnParams{}};
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    app.init();
+    app.computeIteration(m, 0);
+    const double first = app.lastLoss();
+    for (std::uint32_t i = 1; i < 60; ++i)
+        app.computeIteration(m, i);
+    EXPECT_LT(app.lastLoss(), 0.7 * first);
+    EXPECT_GT(app.accuracy(), 0.5);
+}
+
+TEST(Cfd, FieldEvolvesAndStaysFinite)
+{
+    CfdApp app{CfdParams{}};
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    app.init();
+    const double d0 = app.totalDensity();
+    for (std::uint32_t i = 0; i < 10; ++i)
+        app.computeIteration(m, i);
+    const double d1 = app.totalDensity();
+    EXPECT_TRUE(std::isfinite(d1));
+    EXPECT_NE(d0, d1);  // the pocket advects
+    EXPECT_NEAR(d1, d0, 0.2 * d0);  // ... without blowing up
+}
+
+TEST(BlackScholes, PutCallParityHolds)
+{
+    BlackScholesApp app{BlkParams{}};
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    app.init();
+    app.computeIteration(m, 0);
+    // C - P = S - K e^{-rT} with T = 2y, r = 2 %.
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        const float c = app.call(i), p = app.put(i);
+        EXPECT_NEAR(c, app.referenceCall(i, 0), 1e-4f);
+        EXPECT_TRUE(std::isfinite(c) && std::isfinite(p));
+        EXPECT_GE(c, -1e-3f);
+        EXPECT_GE(p, -1e-3f);
+    }
+}
+
+TEST(Hotspot, HeatsUpUnderPowerAndSaturates)
+{
+    HotspotApp app{HotspotParams{}};
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    app.init();
+    const float t0 = app.maxTemp();
+    for (std::uint32_t i = 0; i < 40; ++i)
+        app.computeIteration(m, i);
+    EXPECT_GT(app.maxTemp(), t0 + 10.0f);
+    EXPECT_LT(app.maxTemp(), 400.0f);
+}
+
+class IterativeAllApps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IterativeAllApps, RunsOnEveryPlatform)
+{
+    for (PlatformKind kind :
+         {PlatformKind::Gpm, PlatformKind::GpmNdp, PlatformKind::GpmEadr,
+          PlatformKind::CapFs, PlatformKind::CapMm,
+          PlatformKind::CapEadr, PlatformKind::Gpufs}) {
+        auto app = makeApp(GetParam());
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        const WorkloadResult r = app->run(m, schedule());
+        if (kind == PlatformKind::Gpufs && GetParam() >= 2) {
+            // BLK and HS exceed GPUfs's 2 GB file limit (Fig 9 "*").
+            EXPECT_FALSE(r.supported) << app->name();
+            continue;
+        }
+        EXPECT_TRUE(r.supported) << app->name();
+        EXPECT_GT(r.op_ns, 0.0) << app->name();
+        EXPECT_GT(r.persisted_payload, 0u) << app->name();
+    }
+}
+
+TEST_P(IterativeAllApps, CheckpointedBytesMatchState)
+{
+    auto app = makeApp(GetParam());
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    const IterativeParams p = schedule();
+    app->run(m, p);
+    // Durable consistent buffer equals the live snapshot (the last
+    // checkpoint happened on the final iteration).
+    GpmCheckpoint cp = GpmCheckpoint::open(m, app->name() + ".cp");
+    EXPECT_EQ(cp.sequence(0), p.iterations / p.checkpoint_every);
+}
+
+TEST_P(IterativeAllApps, CrashRestoreResumesToSameState)
+{
+    for (const bool in_checkpoint : {false, true}) {
+        auto app = makeApp(GetParam());
+        SimConfig cfg;
+        Machine m(cfg, PlatformKind::Gpm, 64_MiB, 99);
+        const WorkloadResult r = app->runWithCrashRestore(
+            m, schedule(), /*crash_iter=*/7, in_checkpoint,
+            /*survive_prob=*/0.3);
+        EXPECT_TRUE(r.verified)
+            << app->name() << " in_checkpoint=" << in_checkpoint;
+        EXPECT_GT(r.recovery_ns, 0.0);
+    }
+}
+
+TEST_P(IterativeAllApps, CheckpointingFasterOnGpmThanCap)
+{
+    auto a = makeApp(GetParam());
+    auto b = makeApp(GetParam());
+    SimConfig cfg;
+    Machine gpm_m(cfg, PlatformKind::Gpm, 64_MiB);
+    Machine cap_m(cfg, PlatformKind::CapFs, 64_MiB);
+    const WorkloadResult rg = a->run(gpm_m, schedule());
+    const WorkloadResult rc = b->run(cap_m, schedule());
+    EXPECT_LT(rg.op_ns, rc.op_ns) << a->name();
+    // Checkpoints move identical bytes: write amplification is 1.
+    EXPECT_EQ(rg.persisted_payload, rc.persisted_payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, IterativeAllApps,
+                         ::testing::Range(0, 4));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * gpKVS workload tests: functional correctness on every platform,
+ * transactional crash recovery across eviction seeds and crash points.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/kvs.hpp"
+
+namespace gpm {
+namespace {
+
+GpKvsParams
+smallParams()
+{
+    GpKvsParams p;
+    p.n_sets = 1u << 10;
+    p.batch_ops = 2048;
+    p.batches = 3;
+    return p;
+}
+
+TEST(GpKvs, GpmRunVerifies)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpKvs kvs(m, smallParams());
+    const WorkloadResult r = kvs.run();
+    EXPECT_TRUE(r.supported);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.op_ns, 0.0);
+    EXPECT_GT(r.persisted_payload, 0u);
+    EXPECT_EQ(r.ops_done, 3 * 2048);
+}
+
+TEST(GpKvs, LookupFindsInsertedKeys)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpKvsParams p = smallParams();
+    GpKvs kvs(m, p);
+    ASSERT_TRUE(kvs.run().verified);
+
+    // Rebuild the expected final state and check lookups against it.
+    std::vector<KvPair> mirror(std::uint64_t(p.n_sets) *
+                               GpKvsParams::kWays);
+    for (std::uint32_t b = 0; b < p.batches; ++b)
+        kvs.applyBatchReference(mirror, b);
+    std::uint64_t checked = 0;
+    for (const KvPair &pair : mirror) {
+        if (pair.key == 0)
+            continue;
+        std::uint64_t v = 0;
+        EXPECT_TRUE(kvs.lookup(pair.key, v));
+        EXPECT_EQ(v, pair.value);
+        if (++checked == 64)
+            break;
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(GpKvs, GetsReturnCommittedValues)
+{
+    SimConfig cfg;
+    GpKvsParams p = smallParams();
+    p.get_ratio = 0.5;
+    p.batches = 3;
+    for (PlatformKind kind : {PlatformKind::Gpm, PlatformKind::CapMm}) {
+        Machine m(cfg, kind, 64_MiB);
+        GpKvs kvs(m, p);
+        const WorkloadResult r = kvs.run();
+        // verified covers the GET results against the in-order
+        // reference execution (hits on batch-0 keys, misses on
+        // random ones).
+        EXPECT_TRUE(r.verified) << platformName(kind);
+    }
+}
+
+TEST(GpKvs, GetResultHitsAndMisses)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpKvsParams p = smallParams();
+    p.get_ratio = 0.4;
+    p.batches = 2;
+    GpKvs kvs(m, p);
+    ASSERT_TRUE(kvs.run().verified);
+    // With half the GETs aimed at batch-0 keys, some must hit...
+    std::uint32_t hits = 0, total = 0;
+    for (std::uint32_t i = 0; i < p.batch_ops; ++i) {
+        ++total;
+        hits += kvs.getResult(i) != 0;
+    }
+    EXPECT_GT(hits, 0u);
+    EXPECT_LT(hits, total);  // ...and the random ones must miss
+}
+
+TEST(GpKvs, CapPlatformsVerify)
+{
+    for (PlatformKind kind : {PlatformKind::CapFs, PlatformKind::CapMm,
+                              PlatformKind::CapEadr}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        GpKvs kvs(m, smallParams());
+        const WorkloadResult r = kvs.run();
+        EXPECT_TRUE(r.verified) << platformName(kind);
+        EXPECT_GT(r.op_ns, 0.0) << platformName(kind);
+    }
+}
+
+TEST(GpKvs, GpufsUnsupported)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 64_MiB);
+    GpKvs kvs(m, smallParams());
+    EXPECT_FALSE(kvs.run().supported);
+}
+
+TEST(GpKvs, NdpVerifiesAndIsDurableAfterFlush)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::GpmNdp, 64_MiB);
+    GpKvsParams p = smallParams();
+    GpKvs kvs(m, p);
+    EXPECT_TRUE(kvs.run().verified);
+    // After the CPU flush pass everything pending must be durable.
+    EXPECT_EQ(m.pool().pendingExtents(), 0u);
+}
+
+/** Params where the store dwarfs per-batch updates, as in Table 1. */
+GpKvsParams
+sparseParams()
+{
+    GpKvsParams p;
+    p.n_sets = 1u << 14;  // 2 MiB store
+    p.batch_ops = 4096;
+    p.batches = 2;
+    return p;
+}
+
+TEST(GpKvs, WriteAmplificationShapeCapVsGpm)
+{
+    SimConfig cfg;
+    Machine gpm_m(cfg, PlatformKind::Gpm, 64_MiB);
+    Machine cap_m(cfg, PlatformKind::CapMm, 64_MiB);
+    GpKvsParams p = sparseParams();
+    GpKvs a(gpm_m, p), b(cap_m, p);
+    const WorkloadResult rg = a.run(), rc = b.run();
+    ASSERT_GT(rg.persisted_payload, 0u);
+    // CAP persists the whole store per batch; GPM only the updates.
+    EXPECT_GT(rc.persisted_payload, 5 * rg.persisted_payload);
+}
+
+TEST(GpKvs, GpmFasterThanCap)
+{
+    SimConfig cfg;
+    Machine gpm_m(cfg, PlatformKind::Gpm, 64_MiB);
+    Machine capfs_m(cfg, PlatformKind::CapFs, 64_MiB);
+    GpKvsParams p = sparseParams();
+    GpKvs a(gpm_m, p), b(capfs_m, p);
+    EXPECT_LT(a.run().op_ns, b.run().op_ns);
+}
+
+class GpKvsCrash : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GpKvsCrash, RecoversToPreBatchState)
+{
+    const auto [frac_step, seed] = GetParam();
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB,
+              static_cast<std::uint64_t>(seed));
+    GpKvsParams p = smallParams();
+    p.seed = 1000 + static_cast<std::uint64_t>(seed);
+    GpKvs kvs(m, p);
+    const double frac = 0.1 + 0.2 * frac_step;
+    const double survive = (seed % 3) * 0.4;  // 0, 0.4, 0.8
+    const WorkloadResult r =
+        kvs.runWithCrash(/*crash_batch=*/1, frac, survive);
+    EXPECT_TRUE(r.verified)
+        << "frac=" << frac << " survive=" << survive;
+    EXPECT_GT(r.recovery_ns, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GpKvsCrash,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 6)));
+
+TEST(GpKvsCrashMixed, RecoversWithGetsInTheBatch)
+{
+    // Regression: a crashed batch containing GETs (the 95:5 config of
+    // Table 5) must recover like a pure-SET one.
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB, 13);
+    GpKvsParams p = smallParams();
+    p.get_ratio = 0.95;
+    GpKvs kvs(m, p);
+    const WorkloadResult r = kvs.runWithCrash(1, 0.6, 0.4);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.recovery_ns, 0.0);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the native-persistence workloads (BFS, SRAD, PS):
+ * functional correctness against host references, platform coverage,
+ * and resume-instead-of-restart crash recovery.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/bfs.hpp"
+#include "workloads/prefix_sum.hpp"
+#include "workloads/srad.hpp"
+
+namespace gpm {
+namespace {
+
+BfsParams
+smallBfs()
+{
+    BfsParams p;
+    p.grid_w = 24;
+    p.grid_h = 96;
+    p.shortcuts = 32;
+    return p;
+}
+
+SradParams
+smallSrad()
+{
+    SradParams p;
+    p.width = 96;
+    p.height = 64;
+    p.iterations = 4;
+    return p;
+}
+
+PsParams
+smallPs()
+{
+    PsParams p;
+    p.blocks = 48;
+    p.block_threads = 128;
+    p.elems_per_thread = 8;
+    return p;
+}
+
+// ---- BFS --------------------------------------------------------------
+
+TEST(Bfs, GpmMatchesReference)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpBfs bfs(m, smallBfs());
+    const WorkloadResult r = bfs.run();
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.op_ns, 0.0);
+}
+
+TEST(Bfs, RunsOnCapAndNdp)
+{
+    for (PlatformKind kind : {PlatformKind::CapFs, PlatformKind::CapMm,
+                              PlatformKind::CapEadr,
+                              PlatformKind::GpmNdp,
+                              PlatformKind::GpmEadr}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        GpBfs bfs(m, smallBfs());
+        EXPECT_TRUE(bfs.run().verified) << platformName(kind);
+    }
+}
+
+TEST(Bfs, GpufsUnsupported)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 64_MiB);
+    GpBfs bfs(m, smallBfs());
+    EXPECT_FALSE(bfs.run().supported);
+}
+
+TEST(Bfs, PersistentKernelBeatsCapFsByALot)
+{
+    SimConfig cfg;
+    Machine a(cfg, PlatformKind::Gpm, 64_MiB);
+    Machine b(cfg, PlatformKind::CapFs, 64_MiB);
+    GpBfs g(a, smallBfs()), c(b, smallBfs());
+    const WorkloadResult rg = g.run(), rc = c.run();
+    // The paper reports up to 85x; at our scale demand at least 10x.
+    EXPECT_GT(rc.op_ns, 10.0 * rg.op_ns);
+}
+
+class BfsCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BfsCrash, ResumesFromDurableFrontier)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB,
+              static_cast<std::uint64_t>(GetParam()) + 1);
+    BfsParams p = smallBfs();
+    p.seed = 100 + static_cast<std::uint64_t>(GetParam());
+    GpBfs bfs(m, p);
+    const double frac = 0.15 + 0.1 * (GetParam() % 8);
+    const double survive = (GetParam() % 3) * 0.4;
+    const WorkloadResult r = bfs.runWithCrash(frac, survive);
+    EXPECT_TRUE(r.verified) << "frac=" << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BfsCrash, ::testing::Range(0, 8));
+
+// ---- SRAD -------------------------------------------------------------
+
+TEST(Srad, GpmMatchesReferenceAndDespeckles)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpSrad srad(m, smallSrad());
+    const WorkloadResult r = srad.run();
+    EXPECT_TRUE(r.verified);
+}
+
+TEST(Srad, VarianceFallsAcrossIterations)
+{
+    SimConfig cfg;
+    Machine m1(cfg, PlatformKind::Gpm, 64_MiB);
+    SradParams p1 = smallSrad();
+    p1.iterations = 1;
+    GpSrad one(m1, p1);
+    one.run();
+
+    Machine m2(cfg, PlatformKind::Gpm, 64_MiB);
+    SradParams p8 = smallSrad();
+    p8.iterations = 8;
+    GpSrad eight(m2, p8);
+    eight.run();
+    EXPECT_LT(eight.imageVariance(), one.imageVariance());
+}
+
+TEST(Srad, RunsEverywhereIncludingGpufs)
+{
+    for (PlatformKind kind : {PlatformKind::CapFs, PlatformKind::CapMm,
+                              PlatformKind::GpmNdp, PlatformKind::Gpufs,
+                              PlatformKind::GpmEadr}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        GpSrad srad(m, smallSrad());
+        const WorkloadResult r = srad.run();
+        EXPECT_TRUE(r.supported) << platformName(kind);
+        EXPECT_TRUE(r.verified) << platformName(kind);
+    }
+}
+
+class SradCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SradCrash, ResumesFromCommittedIteration)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB,
+              static_cast<std::uint64_t>(GetParam()) + 7);
+    GpSrad srad(m, smallSrad());
+    const WorkloadResult r = srad.runWithCrash(
+        /*crash_iter=*/1 + GetParam() % 3,
+        /*survive_prob=*/(GetParam() % 2) * 0.5);
+    EXPECT_TRUE(r.verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SradCrash, ::testing::Range(0, 6));
+
+// ---- PS ---------------------------------------------------------------
+
+TEST(PrefixSum, GpmMatchesReference)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpPrefixSum ps(m, smallPs());
+    EXPECT_TRUE(ps.run().verified);
+}
+
+TEST(PrefixSum, RunsOnCapPlatforms)
+{
+    for (PlatformKind kind : {PlatformKind::CapFs, PlatformKind::CapMm,
+                              PlatformKind::GpmNdp,
+                              PlatformKind::GpmEadr}) {
+        SimConfig cfg;
+        Machine m(cfg, kind, 64_MiB);
+        GpPrefixSum ps(m, smallPs());
+        EXPECT_TRUE(ps.run().supported) << platformName(kind);
+    }
+}
+
+TEST(PrefixSum, GpufsUnsupported)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpufs, 64_MiB);
+    GpPrefixSum ps(m, smallPs());
+    EXPECT_FALSE(ps.run().supported);
+}
+
+class PsCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PsCrash, SentinelSkipsCompletedBlocks)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB,
+              static_cast<std::uint64_t>(GetParam()) + 3);
+    PsParams p = smallPs();
+    p.seed = 200 + static_cast<std::uint64_t>(GetParam());
+    GpPrefixSum ps(m, p);
+    const double frac = 0.2 + 0.1 * GetParam();
+    const WorkloadResult r =
+        ps.runWithCrash(frac, (GetParam() % 2) * 0.6);
+    EXPECT_TRUE(r.verified) << "frac=" << frac;
+    if (frac >= 0.4) {
+        // A late crash leaves completed blocks the sentinel skips.
+        EXPECT_GT(ps.blocksSkipped(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PsCrash, ::testing::Range(0, 6));
+
+} // namespace
+} // namespace gpm

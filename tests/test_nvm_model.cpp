@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit + property tests for the Optane model: run formation, tier
+ * classification (the three bandwidths of section 6.1), the multi-run
+ * write-combining buffer, and timing math.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "memsim/nvm_model.hpp"
+
+namespace gpm {
+namespace {
+
+SimConfig cfg;
+
+TEST(NvmModel, AlignedSequentialRunIsFastTier)
+{
+    NvmModel nvm(cfg);
+    for (int i = 0; i < 64; ++i)
+        nvm.recordWrite(1, i * 256, 256);
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 64u * 256);
+    EXPECT_EQ(nvm.bytes().seq_unaligned, 0u);
+    EXPECT_EQ(nvm.bytes().random, 0u);
+}
+
+TEST(NvmModel, UnalignedStartDemotesWholeRun)
+{
+    NvmModel nvm(cfg);
+    for (int i = 0; i < 64; ++i)
+        nvm.recordWrite(1, 64 + i * 256, 256);
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 0u);
+    EXPECT_EQ(nvm.bytes().seq_unaligned, 64u * 256);
+}
+
+TEST(NvmModel, IsolatedWritesAreRandomAndRoundUpToXpline)
+{
+    NvmModel nvm(cfg);
+    nvm.recordWrite(1, 0, 128);
+    nvm.recordWrite(1, 1_MiB, 128);      // far away: new run
+    nvm.recordWrite(1, 2_MiB, 16);
+    nvm.recordWrite(1, 3_MiB, 300);      // spans two lines
+    nvm.recordWrite(1, 4_MiB, 64);
+    nvm.closeRuns();
+    // Each isolated access costs whole 256 B internal lines.
+    EXPECT_EQ(nvm.bytes().random, 256u + 256 + 256 + 512 + 256);
+}
+
+TEST(NvmModel, SubTwoLineRunsCountAsRandom)
+{
+    NvmModel nvm(cfg);
+    nvm.recordWrite(1, 0, 128);
+    nvm.recordWrite(1, 128, 128);  // contiguous, but only 256 B total
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().random, 256u);
+    EXPECT_EQ(nvm.bytes().seq_aligned, 0u);
+}
+
+TEST(NvmModel, PartialTailLineIsUnalignedBytes)
+{
+    NvmModel nvm(cfg);
+    for (int i = 0; i < 4; ++i)
+        nvm.recordWrite(1, i * 128, 128);
+    nvm.recordWrite(1, 512, 64);  // 576-byte aligned-start run
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 512u);
+    EXPECT_EQ(nvm.bytes().seq_unaligned, 64u);
+}
+
+TEST(NvmModel, StreamsDoNotMergeAcrossWriters)
+{
+    NvmModel nvm(cfg);
+    // Two writers covering one contiguous region half-and-half:
+    // temporal interleaving defeats the XPLine buffer.
+    for (int i = 0; i < 8; ++i) {
+        nvm.recordWrite(1, i * 512, 256);
+        nvm.recordWrite(2, i * 512 + 256, 256);
+    }
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 0u);
+    EXPECT_EQ(nvm.bytes().random, 16u * 256);
+}
+
+TEST(NvmModel, MultipleOpenRunsPerStream)
+{
+    NvmModel nvm(cfg);
+    // One warp alternating between two destination arrays (SRAD's
+    // image + coefficients): both runs must stay open and merge.
+    for (int i = 0; i < 32; ++i) {
+        nvm.recordWrite(7, 0 + i * 128, 128);
+        nvm.recordWrite(7, 1_MiB + i * 128, 128);
+    }
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 2u * 32 * 128);
+    EXPECT_EQ(nvm.bytes().random, 0u);
+}
+
+TEST(NvmModel, OverlappingRewriteMergesIntoOpenRun)
+{
+    NvmModel nvm(cfg);
+    // Appends that keep landing in the still-open line (conventional
+    // log partitions).
+    nvm.recordWrite(3, 0, 128);
+    nvm.recordWrite(3, 0, 128);    // same line again
+    nvm.recordWrite(3, 128, 128);
+    nvm.recordWrite(3, 128, 128);
+    nvm.recordWrite(3, 256, 128);
+    nvm.recordWrite(3, 384, 128);
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().seq_aligned, 512u);
+    EXPECT_EQ(nvm.bytes().random, 0u);
+}
+
+TEST(NvmModel, RecordRunClassifiesImmediately)
+{
+    NvmModel nvm(cfg);
+    nvm.recordRun(0, 1_MiB, 1_MiB / 64);
+    EXPECT_EQ(nvm.bytes().seq_aligned, 1_MiB);
+    nvm.recordRun(64, 1024, 16);  // unaligned start
+    EXPECT_EQ(nvm.bytes().seq_unaligned, 1024u);
+}
+
+TEST(NvmModel, RecordScatteredIsRandomTier)
+{
+    NvmModel nvm(cfg);
+    nvm.recordScattered(4096, 64);
+    EXPECT_EQ(nvm.bytes().random, 4096u);
+    EXPECT_EQ(nvm.writeTxns(), 64u);
+}
+
+TEST(NvmModel, WriteTimeMatchesPaperBandwidths)
+{
+    NvmModel nvm(cfg);
+    const NvmTierBytes b{1250, 313, 72};  // bytes chosen per tier
+    // 1250 B at 12.5 B/ns + 313 at 3.13 + 72 at 0.72 = 300 ns.
+    EXPECT_NEAR(nvm.writeTime(b), 300.0, 1e-6);
+}
+
+TEST(NvmModel, RandomBoostOnlyRelievesRandomTier)
+{
+    NvmModel nvm(cfg);
+    const NvmTierBytes b{0, 0, 7200};
+    EXPECT_NEAR(nvm.writeTime(b, 2.0), nvm.writeTime(b) / 2.0, 1e-9);
+    const NvmTierBytes seq{12500, 0, 0};
+    EXPECT_DOUBLE_EQ(nvm.writeTime(seq, 2.0), nvm.writeTime(seq));
+}
+
+TEST(NvmModel, ReadTimeHasLatencyAndBandwidthTerms)
+{
+    NvmModel nvm(cfg);
+    EXPECT_DOUBLE_EQ(nvm.readTime(0), 0.0);
+    EXPECT_NEAR(nvm.readTime(6600), cfg.nvm_read_latency_ns + 1000.0,
+                1e-6);
+}
+
+TEST(NvmModel, ResetClearsEverything)
+{
+    NvmModel nvm(cfg);
+    nvm.recordWrite(1, 0, 256);
+    nvm.recordRead(100);
+    nvm.reset();
+    nvm.closeRuns();
+    EXPECT_EQ(nvm.bytes().total(), 0u);
+    EXPECT_EQ(nvm.readBytes(), 0u);
+    EXPECT_EQ(nvm.writeTxns(), 0u);
+}
+
+/** Property: classification is exhaustive — every recorded byte lands
+ *  in exactly one tier (at >= the payload, given RMW rounding). */
+class NvmSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NvmSweep, AllBytesClassified)
+{
+    Rng rng(1000 + GetParam());
+    NvmModel nvm(cfg);
+    std::uint64_t payload = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t stream = rng.below(8);
+        const std::uint64_t addr = rng.below(1_MiB) * 64;
+        const std::uint64_t size = 64 * (1 + rng.below(8));
+        nvm.recordWrite(stream, addr, size);
+        payload += size;
+    }
+    nvm.closeRuns();
+    EXPECT_GE(nvm.bytes().total(), payload);
+    EXPECT_EQ(nvm.writeTxns(), 2000u);
+    // Monotonicity: more bytes => more time.
+    EXPECT_GT(nvm.writeTime(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NvmSweep, ::testing::Range(0, 8));
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit + property tests for the crash-consistent PM device: region
+ * mapping, the visible/durable split per persistence domain, fences,
+ * range flushes, partial-eviction crashes, and file backing.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+namespace {
+
+TEST(PmPool, RegionMappingAndReopen)
+{
+    PmPool pool(1_MiB, PersistDomain::McDurable);
+    const PmRegion a = pool.map("a", 1000, true);
+    const PmRegion b = pool.map("b", 2000, true);
+    EXPECT_TRUE(isAligned(a.offset, 256));
+    EXPECT_TRUE(isAligned(b.offset, 256));
+    EXPECT_GE(b.offset, a.offset + a.size);
+
+    const PmRegion a2 = pool.map("a", 0, false);  // reopen
+    EXPECT_EQ(a2.offset, a.offset);
+    EXPECT_THROW(pool.map("a", 123, true), FatalError);  // wrong size
+    EXPECT_THROW(pool.map("missing", 0, false), FatalError);
+    EXPECT_TRUE(pool.hasRegion("a"));
+    EXPECT_FALSE(pool.hasRegion("c"));
+}
+
+TEST(PmPool, PoolExhaustionIsUserError)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    EXPECT_THROW(pool.map("big", 8192, true), FatalError);
+}
+
+TEST(PmPool, OutOfRangeAccessIsUserError)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    std::uint64_t v = 1;
+    EXPECT_THROW(pool.deviceWrite(0, 4090, &v, 8), FatalError);
+    EXPECT_THROW(pool.read(4096, &v, 1), FatalError);
+}
+
+TEST(PmPool, WritesVisibleImmediatelyButNotDurable)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t v = 0xdeadbeef;
+    pool.deviceWrite(1, 0, &v, 8);
+    EXPECT_EQ(pool.load<std::uint64_t>(0), v);
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 0u);
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+}
+
+TEST(PmPool, FencePersistsOnlyOwnersWrites)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t a = 1, b = 2;
+    pool.deviceWrite(10, 0, &a, 8);
+    pool.deviceWrite(11, 8, &b, 8);
+    EXPECT_TRUE(pool.persistOwner(10));
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 1u);
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(8), 0u);
+    pool.crash();
+    EXPECT_EQ(pool.load<std::uint64_t>(8), 0u);  // b was lost
+}
+
+TEST(PmPool, LlcVolatileFenceDoesNotPersist)
+{
+    PmPool pool(4096, PersistDomain::LlcVolatile);
+    const std::uint64_t v = 7;
+    pool.deviceWrite(1, 0, &v, 8);
+    EXPECT_FALSE(pool.persistOwner(1));  // DDIO trap
+    pool.crash();
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 0u);
+}
+
+TEST(PmPool, LlcDurableIsDurableOnArrival)
+{
+    PmPool pool(4096, PersistDomain::LlcDurable);
+    const std::uint64_t v = 9;
+    pool.deviceWrite(1, 0, &v, 8);
+    EXPECT_EQ(pool.pendingExtents(), 0u);
+    EXPECT_TRUE(pool.persistOwner(1));
+    pool.crash();
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 9u);
+}
+
+TEST(PmPool, PersistRangeDrainsAnyOwnerByAddress)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t a = 1, b = 2, c = 3;
+    pool.deviceWrite(1, 0, &a, 8);
+    pool.deviceWrite(2, 300, &b, 8);
+    pool.cpuWrite(3, 600, &c, 8);
+    pool.persistRange(0, 128);  // covers a and nothing else
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 1u);
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(600), 0u);
+    EXPECT_EQ(pool.pendingExtents(), 2u);
+    pool.persistAll();
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(300), 2u);
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(600), 3u);
+}
+
+TEST(PmPool, CrashResetsVisibleToDurable)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t a = 1, b = 2;
+    pool.deviceWrite(1, 0, &a, 8);
+    pool.persistOwner(1);
+    pool.deviceWrite(1, 0, &b, 8);  // overwrite, unpersisted
+    EXPECT_EQ(pool.load<std::uint64_t>(0), 2u);
+    pool.crash();
+    EXPECT_EQ(pool.load<std::uint64_t>(0), 1u);
+    EXPECT_EQ(pool.pendingExtents(), 0u);
+}
+
+class PmPoolEviction : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PmPoolEviction, PartialSurvivalIsPerExtentAndBounded)
+{
+    PmPool pool(64_KiB, PersistDomain::McDurable,
+                static_cast<std::uint64_t>(GetParam()) + 1);
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t v = 0x1000 + i;
+        pool.deviceWrite(i, i * 64, &v, 8);
+    }
+    pool.crash(/*survive_prob=*/0.5);
+    int survived = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t d =
+            pool.loadDurable<std::uint64_t>(i * 64);
+        if (d != 0) {
+            EXPECT_EQ(d, 0x1000u + i);  // survivors are intact
+            ++survived;
+        }
+    }
+    // Loose binomial bounds around p = 0.5.
+    EXPECT_GT(survived, n / 4);
+    EXPECT_LT(survived, 3 * n / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmPoolEviction, ::testing::Range(0, 6));
+
+TEST(PmPool, SurviveProbabilityExtremes)
+{
+    PmPool lose(4096, PersistDomain::McDurable, 1);
+    PmPool keep(4096, PersistDomain::McDurable, 1);
+    const std::uint64_t v = 5;
+    lose.deviceWrite(0, 0, &v, 8);
+    keep.deviceWrite(0, 0, &v, 8);
+    lose.crash(0.0);
+    keep.crash(1.0);
+    EXPECT_EQ(lose.loadDurable<std::uint64_t>(0), 0u);
+    EXPECT_EQ(keep.loadDurable<std::uint64_t>(0), 5u);
+}
+
+TEST(PmPool, SaveAndLoadDurableRoundTrip)
+{
+    const char *path = "/tmp/gpm_test_pool.img";
+    {
+        PmPool pool(8192, PersistDomain::McDurable);
+        pool.map("data", 512, true);
+        const std::uint64_t v = 0xabcdef;
+        pool.deviceWrite(0, pool.region("data").offset, &v, 8);
+        pool.persistOwner(0);
+        pool.saveDurable(path);
+    }
+    PmPool loaded =
+        PmPool::loadDurable(path, PersistDomain::McDurable);
+    EXPECT_EQ(loaded.capacity(), 8192u);
+    const PmRegion data = loaded.region("data");
+    EXPECT_EQ(data.size, 512u);
+    EXPECT_EQ(loaded.load<std::uint64_t>(data.offset), 0xabcdefu);
+    // Allocation cursor restored: a new region does not overlap.
+    const PmRegion more = loaded.map("more", 256, true);
+    EXPECT_GE(more.offset, data.offset + data.size);
+    std::remove(path);
+}
+
+TEST(PmPool, DomainSwitchMidstream)
+{
+    PmPool pool(4096, PersistDomain::LlcVolatile);
+    const std::uint64_t v = 3;
+    pool.deviceWrite(1, 0, &v, 8);
+    EXPECT_FALSE(pool.persistOwner(1));
+    pool.setDomain(PersistDomain::McDurable);  // gpm_persist_begin
+    pool.deviceWrite(1, 8, &v, 8);
+    EXPECT_TRUE(pool.persistOwner(1));
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(8), 3u);
+    // The pre-switch write was drained by the same fence (it was
+    // still pending under this owner).
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(0), 3u);
+}
+
+} // namespace
+} // namespace gpm

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * gpmbench — command-line driver for the GPMbench suite.
+ *
+ * Runs any (workload, platform) cell of the evaluation matrix with
+ * the canonical (paper-scaled) configuration and prints the measured
+ * simulated time, throughput, persisted payload and PM traffic:
+ *
+ *     gpmbench list
+ *     gpmbench run <workload> <platform> [seed]
+ *     gpmbench crash <workload> [seed]      # GPM crash + recovery
+ *     gpmbench matrix                        # the full Fig 9 grid
+ *
+ * Workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps
+ * Platforms: gpm ndp eadr capfs capmm capeadr gpufs
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+struct Named {
+    const char *key;
+    Bench bench;
+};
+
+constexpr Named kWorkloads[] = {
+    {"kvs", Bench::Kvs},        {"kvs95", Bench::Kvs95},
+    {"dbi", Bench::DbInsert},   {"dbu", Bench::DbUpdate},
+    {"dnn", Bench::Dnn},        {"cfd", Bench::Cfd},
+    {"blk", Bench::Blk},        {"hs", Bench::Hotspot},
+    {"bfs", Bench::Bfs},        {"srad", Bench::Srad},
+    {"ps", Bench::PrefixSum},
+};
+
+struct NamedPlatform {
+    const char *key;
+    PlatformKind kind;
+};
+
+constexpr NamedPlatform kPlatforms[] = {
+    {"gpm", PlatformKind::Gpm},
+    {"ndp", PlatformKind::GpmNdp},
+    {"eadr", PlatformKind::GpmEadr},
+    {"capfs", PlatformKind::CapFs},
+    {"capmm", PlatformKind::CapMm},
+    {"capeadr", PlatformKind::CapEadr},
+    {"gpufs", PlatformKind::Gpufs},
+};
+
+std::optional<Bench>
+parseBench(const char *s)
+{
+    for (const Named &n : kWorkloads) {
+        if (std::strcmp(n.key, s) == 0)
+            return n.bench;
+    }
+    return std::nullopt;
+}
+
+std::optional<PlatformKind>
+parsePlatform(const char *s)
+{
+    for (const NamedPlatform &n : kPlatforms) {
+        if (std::strcmp(n.key, s) == 0)
+            return n.kind;
+    }
+    return std::nullopt;
+}
+
+void
+printResult(Bench b, PlatformKind kind, const WorkloadResult &r)
+{
+    if (!r.supported) {
+        std::printf("%-14s %-9s unsupported\n",
+                    benchName(b).c_str(), platformName(kind).c_str());
+        return;
+    }
+    std::printf("%-14s %-9s %10.3f ms  %8.2f Mops/s  "
+                "%8.2f MiB persisted  %7.2f MiB PM traffic  %s\n",
+                benchName(b).c_str(), platformName(kind).c_str(),
+                toMs(r.op_ns), r.mops(),
+                r.persisted_payload / (1024.0 * 1024.0),
+                r.pcie_write_bytes / (1024.0 * 1024.0),
+                r.verified ? "verified" : "VERIFY-FAILED");
+}
+
+int
+usage()
+{
+    std::printf(
+        "gpmbench — GPMbench driver (simulated GPM system)\n\n"
+        "  gpmbench list\n"
+        "  gpmbench run <workload> <platform> [seed]\n"
+        "  gpmbench crash <workload> [seed]\n"
+        "  gpmbench matrix\n\n"
+        "workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps\n"
+        "platforms: gpm ndp eadr capfs capmm capeadr gpufs\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    SimConfig cfg;
+
+    if (cmd == "list") {
+        for (const Named &n : kWorkloads) {
+            std::printf("%-7s %-14s %s\n", n.key,
+                        benchName(n.bench).c_str(),
+                        benchClass(n.bench).c_str());
+        }
+        return 0;
+    }
+
+    if (cmd == "run") {
+        if (argc < 4)
+            return usage();
+        const auto b = parseBench(argv[2]);
+        const auto kind = parsePlatform(argv[3]);
+        if (!b || !kind) {
+            std::fprintf(stderr, "unknown workload or platform\n");
+            return 1;
+        }
+        const std::uint64_t seed =
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+        printResult(*b, *kind, runBench(*b, *kind, cfg, seed));
+        return 0;
+    }
+
+    if (cmd == "crash") {
+        if (argc < 3)
+            return usage();
+        const auto b = parseBench(argv[2]);
+        if (!b) {
+            std::fprintf(stderr, "unknown workload\n");
+            return 1;
+        }
+        const std::uint64_t seed =
+            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+        const WorkloadResult r = runBenchWithCrash(*b, cfg, seed);
+        if (r.op_ns == 0 && r.recovery_ns == 0) {
+            std::printf("%s embeds its recovery in the application "
+                        "itself (native persistence)\n",
+                        benchName(*b).c_str());
+            return 0;
+        }
+        std::printf("%-14s recovered=%s  restoration %.3f ms\n",
+                    benchName(*b).c_str(), r.verified ? "yes" : "NO",
+                    toMs(r.recovery_ns));
+        return r.verified ? 0 : 1;
+    }
+
+    if (cmd == "matrix") {
+        for (const Named &n : kWorkloads) {
+            for (const NamedPlatform &p :
+                 {NamedPlatform{"capfs", PlatformKind::CapFs},
+                  NamedPlatform{"capmm", PlatformKind::CapMm},
+                  NamedPlatform{"gpm", PlatformKind::Gpm},
+                  NamedPlatform{"gpufs", PlatformKind::Gpufs}}) {
+                printResult(n.bench, p.kind,
+                            runBench(n.bench, p.kind, cfg));
+            }
+        }
+        return 0;
+    }
+
+    return usage();
+}
