@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binomial.dir/ablation_binomial.cpp.o"
+  "CMakeFiles/ablation_binomial.dir/ablation_binomial.cpp.o.d"
+  "ablation_binomial"
+  "ablation_binomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cxl_projection.dir/ablation_cxl_projection.cpp.o"
+  "CMakeFiles/ablation_cxl_projection.dir/ablation_cxl_projection.cpp.o.d"
+  "ablation_cxl_projection"
+  "ablation_cxl_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cxl_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_knobs.dir/ablation_model_knobs.cpp.o"
+  "CMakeFiles/ablation_model_knobs.dir/ablation_model_knobs.cpp.o.d"
+  "ablation_model_knobs"
+  "ablation_model_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

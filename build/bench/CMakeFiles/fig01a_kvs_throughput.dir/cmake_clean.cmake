@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01a_kvs_throughput.dir/fig01a_kvs_throughput.cpp.o"
+  "CMakeFiles/fig01a_kvs_throughput.dir/fig01a_kvs_throughput.cpp.o.d"
+  "fig01a_kvs_throughput"
+  "fig01a_kvs_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01a_kvs_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

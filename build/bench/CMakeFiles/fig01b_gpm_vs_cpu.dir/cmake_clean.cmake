@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01b_gpm_vs_cpu.dir/fig01b_gpm_vs_cpu.cpp.o"
+  "CMakeFiles/fig01b_gpm_vs_cpu.dir/fig01b_gpm_vs_cpu.cpp.o.d"
+  "fig01b_gpm_vs_cpu"
+  "fig01b_gpm_vs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01b_gpm_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

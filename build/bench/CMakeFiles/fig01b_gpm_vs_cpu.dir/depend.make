@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01b_gpm_vs_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_eadr.dir/fig10_eadr.cpp.o"
+  "CMakeFiles/fig10_eadr.dir/fig10_eadr.cpp.o.d"
+  "fig10_eadr"
+  "fig10_eadr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_eadr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

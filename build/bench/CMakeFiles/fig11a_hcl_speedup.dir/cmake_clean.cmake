@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_hcl_speedup.dir/fig11a_hcl_speedup.cpp.o"
+  "CMakeFiles/fig11a_hcl_speedup.dir/fig11a_hcl_speedup.cpp.o.d"
+  "fig11a_hcl_speedup"
+  "fig11a_hcl_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_hcl_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_hcl_scaling.dir/fig11b_hcl_scaling.cpp.o"
+  "CMakeFiles/fig11b_hcl_scaling.dir/fig11b_hcl_scaling.cpp.o.d"
+  "fig11b_hcl_scaling"
+  "fig11b_hcl_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_hcl_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dnn_checkpoint_freq.dir/micro_dnn_checkpoint_freq.cpp.o"
+  "CMakeFiles/micro_dnn_checkpoint_freq.dir/micro_dnn_checkpoint_freq.cpp.o.d"
+  "micro_dnn_checkpoint_freq"
+  "micro_dnn_checkpoint_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dnn_checkpoint_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_optane_tiering.dir/micro_optane_tiering.cpp.o"
+  "CMakeFiles/micro_optane_tiering.dir/micro_optane_tiering.cpp.o.d"
+  "micro_optane_tiering"
+  "micro_optane_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_optane_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

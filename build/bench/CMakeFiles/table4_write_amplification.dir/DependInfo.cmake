@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table4_write_amplification.cpp" "bench/CMakeFiles/table4_write_amplification.dir/table4_write_amplification.cpp.o" "gcc" "bench/CMakeFiles/table4_write_amplification.dir/table4_write_amplification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gpm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpubaseline/CMakeFiles/gpm_cpubaseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gpm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpm/CMakeFiles/gpm_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/gpm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpm_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/gpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gpm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

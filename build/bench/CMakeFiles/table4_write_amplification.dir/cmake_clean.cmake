@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_write_amplification.dir/table4_write_amplification.cpp.o"
+  "CMakeFiles/table4_write_amplification.dir/table4_write_amplification.cpp.o.d"
+  "table4_write_amplification"
+  "table4_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

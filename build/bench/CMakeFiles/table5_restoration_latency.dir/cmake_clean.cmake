@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_restoration_latency.dir/table5_restoration_latency.cpp.o"
+  "CMakeFiles/table5_restoration_latency.dir/table5_restoration_latency.cpp.o.d"
+  "table5_restoration_latency"
+  "table5_restoration_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_restoration_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_resume.dir/bfs_resume.cpp.o"
+  "CMakeFiles/bfs_resume.dir/bfs_resume.cpp.o.d"
+  "bfs_resume"
+  "bfs_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

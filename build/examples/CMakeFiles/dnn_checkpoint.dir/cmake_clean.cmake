@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnn_checkpoint.dir/dnn_checkpoint.cpp.o"
+  "CMakeFiles/dnn_checkpoint.dir/dnn_checkpoint.cpp.o.d"
+  "dnn_checkpoint"
+  "dnn_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnn_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

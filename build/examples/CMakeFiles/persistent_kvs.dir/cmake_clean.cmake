@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_kvs.dir/persistent_kvs.cpp.o"
+  "CMakeFiles/persistent_kvs.dir/persistent_kvs.cpp.o.d"
+  "persistent_kvs"
+  "persistent_kvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_kvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_common.dir/table.cpp.o"
+  "CMakeFiles/gpm_common.dir/table.cpp.o.d"
+  "libgpm_common.a"
+  "libgpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_cpubaseline.dir/cpu_apps.cpp.o"
+  "CMakeFiles/gpm_cpubaseline.dir/cpu_apps.cpp.o.d"
+  "CMakeFiles/gpm_cpubaseline.dir/cpu_kvs.cpp.o"
+  "CMakeFiles/gpm_cpubaseline.dir/cpu_kvs.cpp.o.d"
+  "libgpm_cpubaseline.a"
+  "libgpm_cpubaseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_cpubaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

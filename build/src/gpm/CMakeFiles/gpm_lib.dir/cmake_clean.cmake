@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_lib.dir/gpm_checkpoint.cpp.o"
+  "CMakeFiles/gpm_lib.dir/gpm_checkpoint.cpp.o.d"
+  "CMakeFiles/gpm_lib.dir/gpm_log.cpp.o"
+  "CMakeFiles/gpm_lib.dir/gpm_log.cpp.o.d"
+  "libgpm_lib.a"
+  "libgpm_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

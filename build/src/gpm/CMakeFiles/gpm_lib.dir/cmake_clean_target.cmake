@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpm_lib.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_gpusim.dir/gpu_executor.cpp.o"
+  "CMakeFiles/gpm_gpusim.dir/gpu_executor.cpp.o.d"
+  "libgpm_gpusim.a"
+  "libgpm_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

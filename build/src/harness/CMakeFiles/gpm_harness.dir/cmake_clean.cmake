@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_harness.dir/experiments.cpp.o"
+  "CMakeFiles/gpm_harness.dir/experiments.cpp.o.d"
+  "libgpm_harness.a"
+  "libgpm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_memsim.dir/nvm_model.cpp.o"
+  "CMakeFiles/gpm_memsim.dir/nvm_model.cpp.o.d"
+  "libgpm_memsim.a"
+  "libgpm_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/gpufs_api.cpp" "src/platform/CMakeFiles/gpm_platform.dir/gpufs_api.cpp.o" "gcc" "src/platform/CMakeFiles/gpm_platform.dir/gpufs_api.cpp.o.d"
+  "/root/repo/src/platform/machine.cpp" "src/platform/CMakeFiles/gpm_platform.dir/machine.cpp.o" "gcc" "src/platform/CMakeFiles/gpm_platform.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gpm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gpm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/gpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpm_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

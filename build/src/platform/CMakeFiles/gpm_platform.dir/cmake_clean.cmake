@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_platform.dir/gpufs_api.cpp.o"
+  "CMakeFiles/gpm_platform.dir/gpufs_api.cpp.o.d"
+  "CMakeFiles/gpm_platform.dir/machine.cpp.o"
+  "CMakeFiles/gpm_platform.dir/machine.cpp.o.d"
+  "libgpm_platform.a"
+  "libgpm_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_pmem.dir/pm_pool.cpp.o"
+  "CMakeFiles/gpm_pmem.dir/pm_pool.cpp.o.d"
+  "libgpm_pmem.a"
+  "libgpm_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/binomial.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/binomial.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/binomial.cpp.o.d"
+  "/root/repo/src/workloads/blackscholes.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/blackscholes.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/cfd.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/cfd.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/cfd.cpp.o.d"
+  "/root/repo/src/workloads/db.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/db.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/db.cpp.o.d"
+  "/root/repo/src/workloads/dnn.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/dnn.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/dnn.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/iterative.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/iterative.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/iterative.cpp.o.d"
+  "/root/repo/src/workloads/kvs.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/kvs.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/kvs.cpp.o.d"
+  "/root/repo/src/workloads/prefix_sum.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/prefix_sum.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/prefix_sum.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/gpm_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/gpm_workloads.dir/srad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpm/CMakeFiles/gpm_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/gpm_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/gpm_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmem/CMakeFiles/gpm_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/gpm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

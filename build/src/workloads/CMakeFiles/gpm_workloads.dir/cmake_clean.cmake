@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpm_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/binomial.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/binomial.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/blackscholes.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/cfd.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/cfd.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/db.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/db.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/dnn.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/dnn.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/iterative.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/iterative.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/kvs.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/kvs.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/prefix_sum.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/prefix_sum.cpp.o.d"
+  "CMakeFiles/gpm_workloads.dir/srad.cpp.o"
+  "CMakeFiles/gpm_workloads.dir/srad.cpp.o.d"
+  "libgpm_workloads.a"
+  "libgpm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

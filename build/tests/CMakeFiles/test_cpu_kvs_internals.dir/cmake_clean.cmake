@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_kvs_internals.dir/test_cpu_kvs_internals.cpp.o"
+  "CMakeFiles/test_cpu_kvs_internals.dir/test_cpu_kvs_internals.cpp.o.d"
+  "test_cpu_kvs_internals"
+  "test_cpu_kvs_internals.pdb"
+  "test_cpu_kvs_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_kvs_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

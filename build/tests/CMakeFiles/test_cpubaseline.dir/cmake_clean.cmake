@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpubaseline.dir/test_cpubaseline.cpp.o"
+  "CMakeFiles/test_cpubaseline.dir/test_cpubaseline.cpp.o.d"
+  "test_cpubaseline"
+  "test_cpubaseline.pdb"
+  "test_cpubaseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpubaseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cpubaseline.
+# This may be replaced when dependencies are built.

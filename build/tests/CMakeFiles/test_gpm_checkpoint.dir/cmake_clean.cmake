@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpm_checkpoint.dir/test_gpm_checkpoint.cpp.o"
+  "CMakeFiles/test_gpm_checkpoint.dir/test_gpm_checkpoint.cpp.o.d"
+  "test_gpm_checkpoint"
+  "test_gpm_checkpoint.pdb"
+  "test_gpm_checkpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpm_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

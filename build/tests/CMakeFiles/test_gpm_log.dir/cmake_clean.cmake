@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpm_log.dir/test_gpm_log.cpp.o"
+  "CMakeFiles/test_gpm_log.dir/test_gpm_log.cpp.o.d"
+  "test_gpm_log"
+  "test_gpm_log.pdb"
+  "test_gpm_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpm_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_executor.dir/test_gpu_executor.cpp.o"
+  "CMakeFiles/test_gpu_executor.dir/test_gpu_executor.cpp.o.d"
+  "test_gpu_executor"
+  "test_gpu_executor.pdb"
+  "test_gpu_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpufs.dir/test_gpufs.cpp.o"
+  "CMakeFiles/test_gpufs.dir/test_gpufs.cpp.o.d"
+  "test_gpufs"
+  "test_gpufs.pdb"
+  "test_gpufs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm_model.dir/test_nvm_model.cpp.o"
+  "CMakeFiles/test_nvm_model.dir/test_nvm_model.cpp.o.d"
+  "test_nvm_model"
+  "test_nvm_model.pdb"
+  "test_nvm_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

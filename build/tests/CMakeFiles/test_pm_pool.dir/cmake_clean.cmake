@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pm_pool.dir/test_pm_pool.cpp.o"
+  "CMakeFiles/test_pm_pool.dir/test_pm_pool.cpp.o.d"
+  "test_pm_pool"
+  "test_pm_pool.pdb"
+  "test_pm_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pm_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

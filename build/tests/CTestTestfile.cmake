@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_kvs[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_iterative[1]_include.cmake")
+include("/root/repo/build/tests/test_native[1]_include.cmake")
+include("/root/repo/build/tests/test_cpubaseline[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_nvm_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pm_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_gpm_log[1]_include.cmake")
+include("/root/repo/build/tests/test_gpm_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_binomial[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_gpufs[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_kvs_internals[1]_include.cmake")

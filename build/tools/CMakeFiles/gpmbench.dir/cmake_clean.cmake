@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpmbench.dir/gpmbench.cpp.o"
+  "CMakeFiles/gpmbench.dir/gpmbench.cpp.o.d"
+  "gpmbench"
+  "gpmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
