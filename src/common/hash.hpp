@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small deterministic hashing helpers.
+ *
+ * FNV-1a is used to fingerprint durable PM state and torture-matrix
+ * outcomes: two runs with identical seeds must produce bit-identical
+ * fingerprints, which is how the crash-matrix suite proves the whole
+ * simulation (executor interleaving, eviction rolls, recovery) is
+ * reproducible.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gpm {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** FNV-1a over a byte range, continuing from @p h. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t size, std::uint64_t h = kFnvOffset)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a over an integral value (hashes its bytes). */
+inline std::uint64_t
+fnv1aU64(std::uint64_t v, std::uint64_t h = kFnvOffset)
+{
+    return fnv1a(&v, sizeof(v), h);
+}
+
+/** FNV-1a over a string's characters. */
+inline std::uint64_t
+fnv1aStr(const std::string &s, std::uint64_t h = kFnvOffset)
+{
+    return fnv1a(s.data(), s.size(), h);
+}
+
+} // namespace gpm

@@ -1,0 +1,203 @@
+#include "crashtest/torture_runner.hpp"
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace gpm {
+
+const char *
+outcomeClassName(OutcomeClass c)
+{
+    switch (c) {
+      case OutcomeClass::StrictOk:
+        return "strict-ok";
+      case OutcomeClass::DdioTrap:
+        return "ddio-trap";
+      case OutcomeClass::NotFired:
+        return "not-fired";
+      case OutcomeClass::Violation:
+        return "VIOLATION";
+    }
+    return "?";
+}
+
+std::string
+TortureResult::key() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "/s%llu/p%.2f",
+                  static_cast<unsigned long long>(scenario.seed),
+                  scenario.survive_prob);
+    return scenario.workload + "/" +
+           persistDomainName(scenario.domain) + "/" +
+           scenario.spec.label() + buf;
+}
+
+void
+TortureConfig::applyDefaults()
+{
+    if (workloads.empty())
+        workloads = registeredInvariants();
+    if (domains.empty())
+        domains = {PersistDomain::LlcVolatile, PersistDomain::McDurable,
+                   PersistDomain::LlcDurable};
+    if (specs.empty())
+        specs = CrashScheduler::enumerate(CrashGrid::defaults());
+    if (seeds.empty())
+        seeds = {1, 2, 3, 4, 5};
+    if (survive_probs.empty())
+        survive_probs = {0.0, 0.5};
+}
+
+std::size_t
+TortureConfig::scenarioCount() const
+{
+    return workloads.size() * domains.size() * specs.size() *
+           seeds.size() * survive_probs.size();
+}
+
+namespace {
+
+/** Apply the policy in the file header of torture_runner.hpp. */
+void
+classify(TortureResult &r)
+{
+    const TortureOutcome &o = r.outcome;
+    const auto violation = [&](std::string why) {
+        r.cls = OutcomeClass::Violation;
+        r.detail = std::move(why);
+    };
+
+    if (!o.error.empty())
+        return violation("exception: " + o.error);
+    if (o.crashes != 1)
+        return violation("pool crashed " + std::to_string(o.crashes) +
+                         " times, expected exactly 1");
+    if (r.scenario.survive_prob == 0.0 && o.crash_survivors != 0)
+        return violation("survivors with zero survival probability");
+    if (o.crash_survivors > o.crash_sub_extents)
+        return violation("more survivors than tearing decisions");
+    if (r.scenario.domain == PersistDomain::LlcDurable &&
+        o.crash_sub_extents != 0)
+        return violation("eADR crash ran the 128 B tearing loop");
+
+    if (!o.strict_ok) {
+        if (r.scenario.domain == PersistDomain::LlcVolatile) {
+            r.cls = OutcomeClass::DdioTrap;
+            return;
+        }
+        return violation("strict invariant failed in a "
+                         "fence-persisting domain");
+    }
+    r.cls = o.fired ? OutcomeClass::StrictOk : OutcomeClass::NotFired;
+}
+
+} // namespace
+
+std::size_t
+TortureReport::violations() const
+{
+    return countOf(OutcomeClass::Violation);
+}
+
+std::size_t
+TortureReport::countOf(OutcomeClass c) const
+{
+    std::size_t n = 0;
+    for (const TortureResult &r : results)
+        n += r.cls == c;
+    return n;
+}
+
+std::uint64_t
+TortureReport::signature() const
+{
+    std::uint64_t h = kFnvOffset;
+    for (const TortureResult &r : results) {
+        h = fnv1aStr(r.key(), h);
+        h = fnv1aU64(r.outcome.fired, h);
+        h = fnv1aU64(r.outcome.recovery_ran, h);
+        h = fnv1aU64(r.outcome.strict_ok, h);
+        h = fnv1aU64(r.outcome.state_hash, h);
+        h = fnv1aU64(static_cast<std::uint64_t>(r.cls), h);
+    }
+    return h;
+}
+
+Table
+TortureReport::table() const
+{
+    Table t({"workload", "domain", "crash-point", "seed", "survive",
+             "fired", "recovered", "strict", "outcome"});
+    for (const TortureResult &r : results) {
+        t.addRow({r.scenario.workload,
+                  persistDomainName(r.scenario.domain),
+                  r.scenario.spec.label(),
+                  std::to_string(r.scenario.seed),
+                  Table::num(r.scenario.survive_prob),
+                  r.outcome.fired ? "y" : "n",
+                  r.outcome.recovery_ran ? "y" : "n",
+                  r.outcome.strict_ok ? "y" : "n",
+                  outcomeClassName(r.cls)});
+    }
+    return t;
+}
+
+Table
+TortureReport::summary() const
+{
+    // (workload, domain) -> counts per class.
+    std::map<std::pair<std::string, std::string>, std::array<int, 4>>
+        cells;
+    for (const TortureResult &r : results) {
+        auto &c = cells[{r.scenario.workload,
+                         persistDomainName(r.scenario.domain)}];
+        ++c[static_cast<int>(r.cls)];
+    }
+    Table t({"workload", "domain", "strict-ok", "ddio-trap",
+             "not-fired", "violations"});
+    for (const auto &[key, c] : cells) {
+        t.addRow({key.first, key.second,
+                  std::to_string(c[0]), std::to_string(c[1]),
+                  std::to_string(c[2]), std::to_string(c[3])});
+    }
+    return t;
+}
+
+TortureReport
+TortureRunner::run(const TortureConfig &cfg_in)
+{
+    TortureConfig cfg = cfg_in;
+    cfg.applyDefaults();
+
+    TortureReport report;
+    report.results.reserve(cfg.scenarioCount());
+    for (const std::string &name : cfg.workloads) {
+        const std::unique_ptr<RecoveryInvariant> inv =
+            makeInvariant(name);
+        for (const PersistDomain domain : cfg.domains) {
+            const DomainSetup setup = domainSetupFor(domain);
+            for (const CrashSpec &spec : cfg.specs) {
+                const CrashPoint point =
+                    spec.materialize(inv->doomedThreadPhases());
+                for (const std::uint64_t seed : cfg.seeds) {
+                    for (const double p : cfg.survive_probs) {
+                        TortureResult r;
+                        r.scenario = {name, domain, spec, seed, p};
+                        r.outcome = inv->run(setup, point, seed, p);
+                        classify(r);
+                        report.results.push_back(std::move(r));
+                    }
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace gpm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The crash-matrix torture runner: sweep every registered workload's
+ * recovery invariant across crash points x eviction seeds x persist
+ * domains, classify each scenario, and report a scenario x outcome
+ * table plus a determinism signature.
+ *
+ * Classification policy (what counts as a violation):
+ *
+ *  - An exception anywhere in the scenario is a violation: recovery
+ *    must never panic, whatever the durable state looks like.
+ *  - A strict-invariant failure in a fence-persisting domain
+ *    (mc-durable, llc-durable) is a violation: the recovery
+ *    protocols are designed to be correct there.
+ *  - A strict failure under llc-volatile is the *expected* DDIO trap
+ *    (section 6.1): fences order writes but persist nothing, so data
+ *    loss is the correct model outcome. Recorded, not a violation.
+ *  - Pool-counter inconsistencies are violations: a scenario must
+ *    crash exactly once; zero line survival must leave zero
+ *    survivors; under eADR nothing is ever pending, so the 128 B
+ *    tearing loop must never run.
+ *
+ * The report's signature() folds every scenario's outcome (including
+ * recovered-state hashes) into one FNV-1a value: two sweeps of the
+ * same config must produce identical signatures, byte for byte.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "crashtest/crash_scheduler.hpp"
+#include "crashtest/recovery_invariant.hpp"
+
+namespace gpm {
+
+/** One cell of the matrix. */
+struct TortureScenario {
+    std::string workload;
+    PersistDomain domain = PersistDomain::McDurable;
+    CrashSpec spec;
+    std::uint64_t seed = 1;
+    double survive_prob = 0.0;
+};
+
+/** How a scenario is classified. */
+enum class OutcomeClass : std::uint8_t {
+    StrictOk,   ///< recovered state passed the strict invariant
+    DdioTrap,   ///< strict failed under llc-volatile (expected loss)
+    NotFired,   ///< crash point beyond the kernel; commit state OK
+    Violation,  ///< recovery bug: see TortureResult::detail
+};
+
+const char *outcomeClassName(OutcomeClass c);
+
+/** One swept scenario with its outcome and classification. */
+struct TortureResult {
+    TortureScenario scenario;
+    TortureOutcome outcome;
+    OutcomeClass cls = OutcomeClass::Violation;
+    std::string detail;  ///< why a violation is a violation
+
+    /** scenario key, e.g. "kvs/mc-durable/frac:0.50/s3/p0.50". */
+    std::string key() const;
+};
+
+/** What to sweep. Empty vectors mean "the default axis". */
+struct TortureConfig {
+    std::vector<std::string> workloads;   ///< default: all registered
+    std::vector<PersistDomain> domains;   ///< default: all three
+    std::vector<CrashSpec> specs;         ///< default: CrashGrid grid
+    std::vector<std::uint64_t> seeds;     ///< default: {1..5}
+    std::vector<double> survive_probs;    ///< default: {0.0, 0.5}
+
+    /** Fill every empty axis with its default. */
+    void applyDefaults();
+
+    std::size_t scenarioCount() const;
+};
+
+/** The sweep's results. */
+struct TortureReport {
+    std::vector<TortureResult> results;
+
+    std::size_t violations() const;
+    std::size_t countOf(OutcomeClass c) const;
+
+    /** Order-sensitive FNV-1a over every scenario outcome. */
+    std::uint64_t signature() const;
+
+    /** Full scenario x outcome table. */
+    Table table() const;
+
+    /** Per workload x domain classification counts. */
+    Table summary() const;
+};
+
+/** Deterministically sweeps a TortureConfig. */
+class TortureRunner
+{
+  public:
+    static TortureReport run(const TortureConfig &cfg);
+};
+
+} // namespace gpm

@@ -149,7 +149,10 @@ GpmCheckpoint::checkpointGpm(std::uint32_t group, std::uint64_t dst,
     copy.name = "gpmcp_checkpoint";
     copy.blocks = blocks;
     copy.block_threads = tpb;
-    if (crash_frac_ >= 0.0) {
+    if (crash_point_ && !crash_in_flip_) {
+        copy.crash = *crash_point_;
+        crash_point_.reset();
+    } else if (crash_frac_ >= 0.0) {
         copy.crash = CrashPoint{static_cast<std::uint64_t>(
             crash_frac_ * static_cast<double>(std::uint64_t(blocks) *
                                               tpb))};
@@ -187,6 +190,11 @@ GpmCheckpoint::checkpointGpm(std::uint32_t group, std::uint64_t dst,
     flip.name = "gpmcp_flip";
     flip.blocks = 1;
     flip.block_threads = 1;
+    if (crash_point_ && crash_in_flip_) {
+        flip.crash = *crash_point_;
+        crash_point_.reset();
+        crash_in_flip_ = false;
+    }
     flip.phases.push_back([=](ThreadCtx &ctx) {
         ctx.pmStore(meta_addr, mt);
         ctx.threadfenceSystem();

@@ -24,9 +24,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "gpusim/kernel.hpp"
 #include "platform/machine.hpp"
 
 namespace gpm {
@@ -100,6 +102,21 @@ class GpmCheckpoint
         crash_frac_ = frac;
     }
 
+    /**
+     * Fault injection with a full crash-point descriptor. With
+     * @p in_flip false the descriptor arms the next checkpoint's copy
+     * kernel; with @p in_flip true it arms the flip kernel instead —
+     * CrashPoint::afterThreadPhases(0) there dies *between* copy and
+     * flip (data fully persisted, valid index never advanced), the
+     * classic double-buffering boundary.
+     */
+    void
+    armCrashNextCheckpoint(const CrashPoint &point, bool in_flip = false)
+    {
+        crash_point_ = point;
+        crash_in_flip_ = in_flip;
+    }
+
     /** Sequence number of the last completed checkpoint of @p group. */
     std::uint32_t sequence(std::uint32_t group) const;
 
@@ -142,6 +159,8 @@ class GpmCheckpoint
     std::vector<std::uint64_t> used_;              ///< bytes per group
     std::vector<std::uint8_t> staging_;            ///< HBM-side gather
     double crash_frac_ = -1.0;  ///< armed fault-injection point (<0: off)
+    std::optional<CrashPoint> crash_point_;  ///< descriptor-armed point
+    bool crash_in_flip_ = false;  ///< aim crash_point_ at the flip kernel
 };
 
 } // namespace gpm

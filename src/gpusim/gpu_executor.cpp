@@ -36,6 +36,7 @@ ThreadCtx::pmWriteStream(std::uint64_t stream, std::uint64_t addr,
     warp_->accesses.push_back(WarpAccess{site, nextOccurrence(site), addr,
                                          static_cast<std::uint32_t>(size),
                                          stream});
+    exec_->noteStore(exec_->executed_);
 }
 
 void
@@ -49,7 +50,10 @@ bool
 ThreadCtx::threadfenceSystem()
 {
     ++exec_->cur_.fences;
-    return exec_->pool_->persistOwner(globalId());
+    exec_->noteFenceBefore(exec_->executed_);
+    const bool persisted = exec_->pool_->persistOwner(globalId());
+    exec_->noteFenceAfter(exec_->executed_);
+    return persisted;
 }
 
 void
@@ -65,6 +69,32 @@ ThreadCtx::hbmTraffic(std::uint64_t bytes)
 }
 
 // ---- executor ------------------------------------------------------------
+
+void
+GpuExecutor::noteFenceBefore(std::uint64_t executed)
+{
+    ++fence_count_;
+    if (armed_ && armed_->trigger == CrashPoint::Trigger::BeforeFence &&
+        fence_count_ == armed_->count)
+        throw KernelCrashed{executed};
+}
+
+void
+GpuExecutor::noteFenceAfter(std::uint64_t executed)
+{
+    if (armed_ && armed_->trigger == CrashPoint::Trigger::AfterFence &&
+        fence_count_ == armed_->count)
+        throw KernelCrashed{executed};
+}
+
+void
+GpuExecutor::noteStore(std::uint64_t executed)
+{
+    ++store_count_;
+    if (armed_ && armed_->trigger == CrashPoint::Trigger::AfterPmStore &&
+        store_count_ == armed_->count)
+        throw KernelCrashed{executed};
+}
 
 void
 GpuExecutor::flushWarp(std::uint64_t global_warp, WarpRecorder &warp)
@@ -135,21 +165,25 @@ GpuExecutor::launch(const KernelDesc &kernel)
         return nvm_->bytes();
     }();
 
-    std::uint64_t executed = 0;
-    const std::uint64_t crash_at = kernel.crash
-        ? kernel.crash->after_thread_phases
-        : ~std::uint64_t(0);
+    armed_ = kernel.crash;
+    executed_ = 0;
+    fence_count_ = 0;
+    store_count_ = 0;
+    const std::uint64_t crash_at =
+        (armed_ && armed_->trigger == CrashPoint::Trigger::ThreadPhases)
+            ? armed_->count
+            : ~std::uint64_t(0);
 
     for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
         for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
             for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
-                if (executed == crash_at)
-                    throw KernelCrashed{executed};
+                if (executed_ == crash_at)
+                    throw KernelCrashed{executed_};
                 ThreadCtx ctx(*this, warps[t / warp_size], b, t,
                               kernel.block_threads, kernel.blocks,
                               warp_size);
                 kernel.phases[p](ctx);
-                ++executed;
+                ++executed_;
             }
             // Phase boundary: retire every warp's coalesced stores.
             for (std::uint32_t w = 0; w < warps_per_block; ++w) {
@@ -159,6 +193,7 @@ GpuExecutor::launch(const KernelDesc &kernel)
         }
     }
 
+    armed_.reset();
     nvm_->closeRuns();
     cur_.nvm = nvm_->bytes() - before;
     return cur_;

@@ -104,10 +104,25 @@ class GpuExecutor
     /** Coalesce and retire one warp's phase accesses. */
     void flushWarp(std::uint64_t global_warp, WarpRecorder &warp);
 
+    /**
+     * Crash-trigger bookkeeping, called from the ThreadCtx data path.
+     * Event counters are per launch and 1-based, so e.g.
+     * CrashPoint::beforeFence(1) dies before the first fence of the
+     * launch ever persists anything.
+     */
+    void noteFenceBefore(std::uint64_t executed);
+    void noteFenceAfter(std::uint64_t executed);
+    void noteStore(std::uint64_t executed);
+
     const SimConfig *cfg_;
     PmPool *pool_;
     NvmModel *nvm_;
     LaunchStats cur_;
+
+    std::optional<CrashPoint> armed_;  ///< active launch's crash point
+    std::uint64_t executed_ = 0;       ///< (thread, phase) executions so far
+    std::uint64_t fence_count_ = 0;    ///< fences started this launch
+    std::uint64_t store_count_ = 0;    ///< PM stores retired this launch
 };
 
 } // namespace gpm

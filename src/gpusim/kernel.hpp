@@ -31,14 +31,83 @@ using Phase = std::function<void(ThreadCtx &)>;
 
 /**
  * Point at which a simulated crash (power failure) interrupts a
- * launch: execution stops after @ref after_thread_phases individual
- * (thread, phase) executions have completed. Sweeping this value over
+ * launch.
+ *
+ * The default trigger stops execution after @ref count individual
+ * (thread, phase) executions have completed; sweeping that value over
  * [0, blocks * threads * phases) visits every interleaving boundary
  * the block-sequential executor can produce — the NVBitFI analog used
  * by the recovery experiments (section 6.2).
+ *
+ * The other triggers place the crash on *persistence-event* boundaries
+ * instead, which is where failure-atomicity bugs hide (the fraction
+ * grid almost never lands exactly between a store and its fence):
+ *
+ *  - BeforeFence: die just before the Nth system-scope fence of the
+ *    launch executes — every store the fence was about to persist is
+ *    still pending (just-before-persist).
+ *  - AfterFence: die right after the Nth fence completes — that
+ *    thread's stores are durable, everything later is lost
+ *    (just-after-persist).
+ *  - AfterPmStore: die immediately after the Nth PM store retires to
+ *    the visible image. Swept over an insert's store sequence this
+ *    crosses every intra-operation boundary, including mid-tail-bump
+ *    in GpmLog::insert (tail stored, sentinel fence never reached).
+ *
+ * Event counts are global across the launch and deterministic under
+ * the block-sequential execution order.
  */
 struct CrashPoint {
-    std::uint64_t after_thread_phases = 0;
+    enum class Trigger : std::uint8_t {
+        ThreadPhases,  ///< after @ref count (thread, phase) executions
+        BeforeFence,   ///< just before the @ref count-th fence (1-based)
+        AfterFence,    ///< right after the @ref count-th fence (1-based)
+        AfterPmStore,  ///< right after the @ref count-th store (1-based)
+    };
+
+    std::uint64_t count = 0;
+    Trigger trigger = Trigger::ThreadPhases;
+
+    static CrashPoint
+    afterThreadPhases(std::uint64_t n)
+    {
+        return {n, Trigger::ThreadPhases};
+    }
+
+    static CrashPoint
+    beforeFence(std::uint64_t n)
+    {
+        return {n, Trigger::BeforeFence};
+    }
+
+    static CrashPoint
+    afterFence(std::uint64_t n)
+    {
+        return {n, Trigger::AfterFence};
+    }
+
+    static CrashPoint
+    afterPmStore(std::uint64_t n)
+    {
+        return {n, Trigger::AfterPmStore};
+    }
+
+    /** Human-readable form ("phase:120", "fence<3", ...). */
+    std::string
+    describe() const
+    {
+        switch (trigger) {
+          case Trigger::ThreadPhases:
+            return "phase:" + std::to_string(count);
+          case Trigger::BeforeFence:
+            return "fence<" + std::to_string(count);
+          case Trigger::AfterFence:
+            return "fence>" + std::to_string(count);
+          case Trigger::AfterPmStore:
+            return "store>" + std::to_string(count);
+        }
+        return "?";
+    }
 };
 
 /** A grid launch: geometry plus the phase list. */

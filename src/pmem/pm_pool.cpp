@@ -1,5 +1,6 @@
 #include "pmem/pm_pool.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
@@ -98,6 +99,7 @@ PmPool::drain(const Extent &e)
 {
     std::memcpy(durable_.data() + e.addr, visible_.data() + e.addr,
                 e.size);
+    ++stats_.extents_drained;
 }
 
 bool
@@ -152,14 +154,32 @@ PmPool::persistAll()
 void
 PmPool::crash(double survive_prob)
 {
+    ++stats_.crashes;
     if (domain_ == PersistDomain::LlcDurable) {
         // eADR drains caches on power failure.
         persistAll();
     } else {
+        // Survival is decided per 128 B cache line, not per pending
+        // extent: an extent spanning lines can be torn, with some of
+        // its lines evicted to the media before the failure and the
+        // rest lost. Line boundaries come from alignDown so tearing is
+        // address-stable regardless of how stores were batched.
         for (const auto &[owner, extents] : pending_) {
             for (const Extent &e : extents) {
-                if (survive_prob > 0.0 && rng_.chance(survive_prob))
-                    drain(e);
+                const std::uint64_t end = e.addr + e.size;
+                std::uint64_t lo = alignDown(e.addr, kCrashLineBytes);
+                for (; lo < end; lo += kCrashLineBytes) {
+                    const Extent sub{
+                        std::max(lo, e.addr),
+                        std::min(lo + kCrashLineBytes, end) -
+                            std::max(lo, e.addr)};
+                    ++stats_.crash_sub_extents;
+                    if (survive_prob > 0.0 &&
+                        rng_.chance(survive_prob)) {
+                        drain(sub);
+                        ++stats_.crash_survivors;
+                    }
+                }
             }
         }
         pending_.clear();

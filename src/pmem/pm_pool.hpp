@@ -55,6 +55,19 @@ struct PmRegion {
     std::uint64_t size = 0;    ///< region size in bytes
 };
 
+/**
+ * Lifetime counters for crash/persist activity. The torture runner
+ * asserts on these after each scenario: exactly one crash happened,
+ * zero-probability crashes produced zero survivors, and eADR crashes
+ * never reached the probabilistic tearing path at all.
+ */
+struct PmPoolStats {
+    std::uint64_t crashes = 0;           ///< crash() invocations
+    std::uint64_t extents_drained = 0;   ///< extents copied to durable
+    std::uint64_t crash_sub_extents = 0; ///< 128 B lines rolled at crash
+    std::uint64_t crash_survivors = 0;   ///< lines that won the roll
+};
+
 /** Simulated byte-addressable persistent memory with crash semantics. */
 class PmPool
 {
@@ -147,21 +160,33 @@ class PmPool
     // ---- crash ------------------------------------------------------------
 
     /**
-     * Power failure: each pending extent independently survives with
-     * probability @p survive_prob (natural eviction before the crash),
-     * everything else is lost; the visible image is reset to the
-     * durable image, i.e. the post-reboot state.
+     * Power failure: every pending extent is first split at 128 B
+     * cache-line boundaries and each sub-extent independently survives
+     * with probability @p survive_prob (natural eviction before the
+     * crash); everything else is lost and the visible image is reset
+     * to the durable image, i.e. the post-reboot state.
+     *
+     * Line granularity matters: a multi-chunk HCL entry or a 60 B row
+     * straddling a line can be *torn* — partially durable — which is
+     * precisely the adversarial state undo-log recovery must tolerate.
+     * Per-extent survival could never produce it.
      *
      * Under LlcDurable (eADR) all pending extents drain — that is the
      * hardware guarantee.
      */
     void crash(double survive_prob = 0.0);
 
+    /** Crash-granularity: survival is decided per this many bytes. */
+    static constexpr std::uint64_t kCrashLineBytes = 128;
+
     /** Number of pending (visible but not durable) extents. */
     std::size_t pendingExtents() const;
 
     /** Pending bytes (sum of extent sizes; overlaps counted twice). */
     std::uint64_t pendingBytes() const;
+
+    /** Lifetime crash/persist counters (see PmPoolStats). */
+    const PmPoolStats &stats() const { return stats_; }
 
     // ---- inspection & file backing ------------------------------------
 
@@ -210,6 +235,7 @@ class PmPool
     std::uint64_t alloc_cursor_ = 0;
     PersistDomain domain_;
     Rng rng_;
+    PmPoolStats stats_;
 };
 
 } // namespace gpm

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
@@ -479,6 +480,25 @@ WorkloadResult
 GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
                    double survive_prob)
 {
+    const std::uint32_t tpb = 256;
+    const std::uint32_t n = kind == TxnKind::Insert ? p_.insert_rows
+                                                    : p_.update_rows;
+    const std::uint64_t threads = ceilDiv(n, tpb) * tpb;
+    WorkloadResult r;
+    const CrashOutcome o = runCrashPoint(
+        kind, crash_batch,
+        CrashPoint::afterThreadPhases(static_cast<std::uint64_t>(
+            frac * static_cast<double>(threads))),
+        survive_prob, /*open_persist_window=*/true, &r);
+    GPM_ASSERT(o.fired || frac >= 1.0, "crash point did not fire");
+    return r;
+}
+
+CrashOutcome
+GpDb::runCrashPoint(TxnKind kind, std::uint32_t crash_batch,
+                    const CrashPoint &point, double survive_prob,
+                    bool open_persist_window, WorkloadResult *result_out)
+{
     GPM_REQUIRE(inKernelPersistence(m_->kind()),
                 "crash recovery needs in-kernel persistence");
     GPM_REQUIRE(p_.use_hcl || kind == TxnKind::Insert,
@@ -486,9 +506,12 @@ GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
 
     setup();
     WorkloadResult r;
+    CrashOutcome o;
+    const bool window =
+        open_persist_window && m_->kind() == PlatformKind::Gpm;
 
     // Persistence window stays open through crash and recovery.
-    if (m_->kind() == PlatformKind::Gpm)
+    if (window)
         gpmPersistBegin(*m_);
 
     const SimNs t0 = m_->now();
@@ -503,10 +526,23 @@ GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
     }
     const SimNs clean_ns = m_->now() - t0;
 
-    // Reference durable state: everything before the crashed batch.
+    // Reference durable state: everything before the crashed batch —
+    // and the batch applied on top, the other legal atomic outcome
+    // when the armed point never fires.
     std::vector<DbRow> reference = mirror_;
     const std::uint64_t ref_count =
         m_->pool().load<std::uint64_t>(meta_.offset + kRowCountOff);
+    std::vector<DbRow> committed = mirror_;
+    {
+        std::vector<DbRow> saved = std::move(mirror_);
+        mirror_ = committed;
+        if (kind == TxnKind::Insert)
+            mirrorInsert(crash_batch);
+        else
+            mirrorUpdate(crash_batch);
+        committed = std::move(mirror_);
+        mirror_ = std::move(saved);
+    }
 
     // Arm and run the doomed batch.
     const std::uint32_t batch = crash_batch;
@@ -524,8 +560,7 @@ GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
     k.name = "gpdb_crashing";
     k.blocks = static_cast<std::uint32_t>(ceilDiv(n, tpb));
     k.block_threads = tpb;
-    k.crash = CrashPoint{static_cast<std::uint64_t>(
-        frac * static_cast<double>(std::uint64_t(k.blocks) * tpb))};
+    k.crash = point;
     if (kind == TxnKind::Insert) {
         k.phases.push_back([this, ref_count, batch](ThreadCtx &ctx) {
             const std::uint64_t i = ctx.globalId();
@@ -552,18 +587,18 @@ GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
             gpmPersist(ctx);
         });
     }
-    bool crashed = false;
     try {
         m_->runKernel(k);
     } catch (const KernelCrashed &) {
-        crashed = true;
+        o.fired = true;
     }
-    GPM_ASSERT(crashed || frac >= 1.0, "crash point did not fire");
     m_->pool().crash(survive_prob);
 
     const SimNs r0 = m_->now();
     if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) ==
         1) {
+        if (!window && m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);  // reboot-time recovery persists
         if (kind == TxnKind::Update) {
             recoverUpdate();
         } else {
@@ -573,14 +608,28 @@ GpDb::runWithCrash(TxnKind kind, std::uint32_t crash_batch, double frac,
             m_->cpuWritePersist(meta_.offset + kTxnFlagOff, &zero, 4,
                                 1);
         }
+        if (!window && m_->kind() == PlatformKind::Gpm)
+            gpmPersistEnd(*m_);
+        o.recovery_ran = true;
     }
     r.recovery_ns = m_->now() - r0;
     r.op_ns = clean_ns;
     r.ops_done = static_cast<double>(crash_batch) * n;
 
-    r.verified = durableRowCount() == ref_count &&
-                 durableEquals(reference);
-    return r;
+    const std::uint64_t count = durableRowCount();
+    o.strict_ok =
+        (count == ref_count && durableEquals(reference)) ||
+        (!o.fired && count == ref_count + (kind == TxnKind::Insert
+                                               ? p_.insert_rows
+                                               : 0) &&
+         durableEquals(committed));
+    o.state_hash = fnv1aU64(
+        count, fnv1a(m_->pool().durable() + table_.offset,
+                     count * GpDbParams::kRowBytes));
+    r.verified = o.strict_ok;
+    if (result_out)
+        *result_out = r;
+    return o;
 }
 
 bool

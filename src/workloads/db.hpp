@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "gpm/gpm_log.hpp"
+#include "gpusim/kernel.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpm {
@@ -105,6 +106,17 @@ class GpDb
      */
     WorkloadResult runWithCrash(TxnKind kind, std::uint32_t crash_batch,
                                 double frac, double survive_prob);
+
+    /**
+     * Descriptor-armed crash run (see GpKvs::runCrashPoint for the
+     * contract). strict_ok accepts either the pre-batch reference or,
+     * when @p point never fired, the committed post-batch state.
+     */
+    CrashOutcome runCrashPoint(TxnKind kind, std::uint32_t crash_batch,
+                               const CrashPoint &point,
+                               double survive_prob,
+                               bool open_persist_window = true,
+                               WorkloadResult *result_out = nullptr);
 
     /** Durable row count (what a reboot would see). */
     std::uint64_t durableRowCount() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
@@ -428,29 +429,53 @@ WorkloadResult
 GpKvs::runWithCrash(std::uint32_t crash_batch, double frac,
                     double survive_prob)
 {
+    GPM_REQUIRE(frac >= 0.0 && frac <= 1.0, "bad crash fraction");
+    const std::uint64_t threads =
+        std::uint64_t(p_.batch_ops) * GpKvsParams::kGroup;
+    WorkloadResult r;
+    const CrashOutcome o = runCrashPoint(
+        crash_batch,
+        CrashPoint::afterThreadPhases(static_cast<std::uint64_t>(
+            frac * static_cast<double>(threads))),
+        survive_prob, /*open_persist_window=*/true, &r);
+    GPM_ASSERT(o.fired || frac >= 1.0, "crash point did not fire");
+    return r;
+}
+
+CrashOutcome
+GpKvs::runCrashPoint(std::uint32_t crash_batch, const CrashPoint &point,
+                     double survive_prob, bool open_persist_window,
+                     WorkloadResult *result_out)
+{
     GPM_REQUIRE(inKernelPersistence(m_->kind()),
                 "crash recovery needs in-kernel persistence");
     GPM_REQUIRE(p_.use_hcl,
                 "per-thread undo recovery requires the HCL log");
     GPM_REQUIRE(crash_batch < p_.batches, "crash batch out of range");
-    GPM_REQUIRE(frac >= 0.0 && frac <= 1.0, "bad crash fraction");
 
     setup();
     WorkloadResult r;
+    CrashOutcome o;
+    // Only PlatformKind::Gpm has a DDIO toggle; eADR needs no window.
+    const bool window =
+        open_persist_window && m_->kind() == PlatformKind::Gpm;
 
-    // Reference state: every batch before the crashed one, applied.
+    // Reference states: every batch before the crashed one applied,
+    // and additionally the doomed batch on top — the durable image
+    // must equal one of the two (atomicity: all or nothing).
     std::vector<KvPair> reference(std::uint64_t(p_.n_sets) *
                                   GpKvsParams::kWays);
     for (std::uint32_t b = 0; b < crash_batch; ++b)
         applyBatchReference(reference, b);
+    std::vector<KvPair> committed = reference;
+    applyBatchReference(committed, crash_batch);
 
     const SimNs t0 = m_->now();
-    bool ndp = false;
     for (std::uint32_t b = 0; b < crash_batch; ++b) {
-        if (m_->kind() == PlatformKind::Gpm)
+        if (window)
             gpmPersistBegin(*m_);
-        runBatchGpm(makeBatch(b), ndp);
-        if (m_->kind() == PlatformKind::Gpm)
+        runBatchGpm(makeBatch(b), /*ndp=*/false);
+        if (window)
             gpmPersistEnd(*m_);
         r.ops_done += p_.batch_ops;
     }
@@ -462,7 +487,7 @@ GpKvs::runWithCrash(std::uint32_t crash_batch, double frac,
         const std::uint32_t batch_id = crash_batch;
         const std::uint32_t flag_and_batch[2] = {1u, batch_id};
         m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
-        if (m_->kind() == PlatformKind::Gpm)
+        if (window)
             gpmPersistBegin(*m_);
 
         const std::uint64_t threads =
@@ -472,8 +497,7 @@ GpKvs::runWithCrash(std::uint32_t crash_batch, double frac,
         k.name = "gpkvs_batch_crashing";
         k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
         k.block_threads = tpb;
-        k.crash = CrashPoint{static_cast<std::uint64_t>(
-            frac * static_cast<double>(threads))};
+        k.crash = point;
         k.phases.push_back([this, &ops, batch_id](ThreadCtx &ctx) {
             const std::uint64_t gtid = ctx.globalId();
             const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
@@ -498,26 +522,39 @@ GpKvs::runWithCrash(std::uint32_t crash_batch, double frac,
                         KvPair{op.key, op.value});
             gpmPersist(ctx);
         });
-        bool crashed = false;
         try {
             m_->runKernel(k);
         } catch (const KernelCrashed &) {
-            crashed = true;
+            o.fired = true;
         }
-        GPM_ASSERT(crashed || frac >= 1.0,
-                   "crash point did not fire");
         m_->pool().crash(survive_prob);
     }
 
     // Reboot: recover if the durable flag says a batch was in flight.
+    // Recovery always runs inside a persist window — after a reboot
+    // the recovery procedure gets to configure DDIO correctly even if
+    // the crashed application never did.
     const SimNs r0 = m_->now();
-    if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) == 1)
+    if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) ==
+        1) {
+        if (!window && m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);
         recover();
+        if (!window && m_->kind() == PlatformKind::Gpm)
+            gpmPersistEnd(*m_);
+        o.recovery_ran = true;
+    }
     r.recovery_ns = m_->now() - r0;
     r.op_ns = clean_ns;
 
-    r.verified = durableEquals(reference);
-    return r;
+    o.strict_ok = durableEquals(reference) ||
+                  (!o.fired && durableEquals(committed));
+    o.state_hash = fnv1a(m_->pool().durable() + store_.offset,
+                         p_.storeBytes());
+    r.verified = o.strict_ok;
+    if (result_out)
+        *result_out = r;
+    return o;
 }
 
 bool

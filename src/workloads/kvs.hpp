@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gpm/gpm_log.hpp"
+#include "gpusim/kernel.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpm {
@@ -91,6 +92,23 @@ class GpKvs
      */
     WorkloadResult runWithCrash(std::uint32_t crash_batch, double frac,
                                 double survive_prob);
+
+    /**
+     * Descriptor-armed crash run (the torture-matrix entry point):
+     * run batches up to @p crash_batch cleanly, arm @p point on the
+     * doomed batch's kernel, crash the pool with @p survive_prob
+     * line survival, reboot, recover, and report the outcome.
+     *
+     * @p open_persist_window false leaves DDIO on for the doomed run
+     * (PersistDomain::LlcVolatile — the GPM-NDP trap); recovery then
+     * still runs inside its own persist window, modelling a correct
+     * reboot-time recovery procedure on top of crash-time data loss.
+     */
+    CrashOutcome runCrashPoint(std::uint32_t crash_batch,
+                               const CrashPoint &point,
+                               double survive_prob,
+                               bool open_persist_window = true,
+                               WorkloadResult *result_out = nullptr);
 
     /** The durable store equals @p reference? */
     bool durableEquals(const std::vector<KvPair> &reference) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
@@ -43,7 +44,7 @@ GpPrefixSum::setup()
 }
 
 void
-GpPrefixSum::partialSumsKernel(bool crashing, double frac)
+GpPrefixSum::partialSumsKernel(const std::optional<CrashPoint> &crash)
 {
     const bool in_kernel = inKernelPersistence(m_->kind());
     const bool gpu_direct =
@@ -60,10 +61,7 @@ GpPrefixSum::partialSumsKernel(bool crashing, double frac)
     k.name = "ps_partial_sums";
     k.blocks = p_.blocks;
     k.block_threads = p_.block_threads;
-    if (crashing) {
-        k.crash = CrashPoint{static_cast<std::uint64_t>(
-            frac * 2.0 * static_cast<double>(total_threads))};
-    }
+    k.crash = crash;
     // Phase 0: all but the last thread compute and persist.
     k.phases.push_back([this, &sums, &skip, gpu_direct,
                         in_kernel](ThreadCtx &ctx) {
@@ -232,7 +230,7 @@ GpPrefixSum::run()
     const std::uint64_t pcie0 = m_->pcieWriteBytes();
     const std::uint64_t pay0 = m_->persistPayloadBytes();
 
-    partialSumsKernel(false, 0.0);
+    partialSumsKernel(std::nullopt);
     finalKernel();
 
     r.op_ns = m_->now() - t0;
@@ -263,8 +261,12 @@ GpPrefixSum::runWithCrash(double frac, double survive_prob)
     if (m_->kind() == PlatformKind::Gpm)
         gpmPersistBegin(*m_);
 
+    const std::uint64_t total_threads =
+        std::uint64_t(p_.blocks) * p_.block_threads;
     try {
-        partialSumsKernel(true, frac);
+        partialSumsKernel(CrashPoint::afterThreadPhases(
+            static_cast<std::uint64_t>(
+                frac * 2.0 * static_cast<double>(total_threads))));
         GPM_ASSERT(false, "prefix-sum crash point did not fire");
     } catch (const KernelCrashed &) {
     }
@@ -276,7 +278,7 @@ GpPrefixSum::runWithCrash(double frac, double survive_prob)
     WorkloadResult r;
     const SimNs r0 = m_->now();
     blocks_skipped_ = 0;
-    partialSumsKernel(false, 0.0);
+    partialSumsKernel(std::nullopt);
     finalKernel();
     r.recovery_ns = m_->now() - r0;
     r.op_ns = r.recovery_ns;
@@ -291,6 +293,51 @@ GpPrefixSum::runWithCrash(double frac, double survive_prob)
     }
     r.ops_done = static_cast<double>(blocks_skipped_);
     return r;
+}
+
+CrashOutcome
+GpPrefixSum::runCrashPoint(const CrashPoint &point, double survive_prob,
+                           bool open_persist_window)
+{
+    GPM_REQUIRE(inKernelPersistence(m_->kind()),
+                "prefix-sum resume needs in-kernel persistence");
+    setup();
+    CrashOutcome o;
+    const bool window =
+        open_persist_window && m_->kind() == PlatformKind::Gpm;
+    if (window)
+        gpmPersistBegin(*m_);
+
+    try {
+        partialSumsKernel(point);
+    } catch (const KernelCrashed &) {
+        o.fired = true;
+    }
+    m_->pool().crash(survive_prob);
+
+    // Resume under a fresh persist window (reboot-time recovery gets
+    // DDIO right even when the crashed run never did): the sentinel
+    // check skips completed blocks, everything else recomputes.
+    if (!window && m_->kind() == PlatformKind::Gpm)
+        gpmPersistBegin(*m_);
+    blocks_skipped_ = 0;
+    partialSumsKernel(std::nullopt);
+    finalKernel();
+    o.recovery_ran = true;
+
+    const std::vector<std::uint64_t> ref = referencePrefix();
+    o.strict_ok = true;
+    for (std::uint64_t i = 0; i < ref.size(); ++i) {
+        if (durablePrefix(i) != ref[i]) {
+            o.strict_ok = false;
+            break;
+        }
+    }
+    o.state_hash = fnv1a(m_->pool().durable() + out_.offset,
+                         p_.elements() * 8);
+    if (!window && m_->kind() == PlatformKind::Gpm)
+        gpmPersistEnd(*m_);
+    return o;
 }
 
 std::vector<std::uint64_t>

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "gpusim/kernel.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpm {
@@ -62,6 +64,17 @@ class GpPrefixSum
      */
     WorkloadResult runWithCrash(double frac, double survive_prob);
 
+    /**
+     * Descriptor-armed crash run: crash the partial-sum kernel at
+     * @p point, reboot, resume (sentinel-skip re-run) and finish.
+     * strict_ok means the full durable output equals the reference —
+     * the kernel's native recovery is a recompute, so there is a
+     * single legal final state regardless of where the crash landed.
+     */
+    CrashOutcome runCrashPoint(const CrashPoint &point,
+                               double survive_prob,
+                               bool open_persist_window = true);
+
     /** Host reference prefix sums. */
     std::vector<std::uint64_t> referencePrefix() const;
 
@@ -73,7 +86,7 @@ class GpPrefixSum
 
   private:
     /** Figure 8's kernel (partial sums with sentinel ordering). */
-    void partialSumsKernel(bool crashing, double frac);
+    void partialSumsKernel(const std::optional<CrashPoint> &crash);
     /** Offsets + final output stage. */
     void finalKernel();
 

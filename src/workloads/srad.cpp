@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
@@ -120,7 +121,8 @@ sradDiffuse(const SradParams &p, const std::vector<float> &src,
 }
 
 void
-GpSrad::runIteration(std::uint32_t iter, bool crashing)
+GpSrad::runIteration(std::uint32_t iter,
+                     const std::optional<CrashPoint> &crash)
 {
     const bool in_kernel = inKernelPersistence(m_->kind());
     const bool gpu_direct =
@@ -148,8 +150,7 @@ GpSrad::runIteration(std::uint32_t iter, bool crashing)
         std::max<std::uint64_t>(1,
             ceilDiv(n, std::uint64_t(tpb) * words_per_thread)));
     k.block_threads = tpb;
-    if (crashing)
-        k.crash = CrashPoint{std::uint64_t(k.blocks) * tpb / 2};
+    k.crash = crash;
     k.phases.push_back([this, &next, &coef, n, dst_buf, gpu_direct,
                         in_kernel, warp,
                         words_per_thread](ThreadCtx &ctx) {
@@ -177,8 +178,8 @@ GpSrad::runIteration(std::uint32_t iter, bool crashing)
     host_img_ = std::move(next);
     host_coef_ = std::move(coef);
 
-    if (crashing)
-        return;  // unreachable when the crash fires; guard anyway
+    if (crash)
+        return;  // a doomed iteration never commits, fired or not
 
     // Commit the iteration counter.
     if (in_kernel) {
@@ -237,7 +238,7 @@ GpSrad::run()
     const std::uint64_t pay0 = m_->persistPayloadBytes();
 
     for (std::uint32_t iter = 0; iter < p_.iterations; ++iter)
-        runIteration(iter, false);
+        runIteration(iter, std::nullopt);
 
     r.op_ns = m_->now() - t0;
     r.pcie_write_bytes = m_->pcieWriteBytes() - pcie0;
@@ -262,10 +263,15 @@ GpSrad::runWithCrash(std::uint32_t crash_iter, double survive_prob)
         gpmPersistBegin(*m_);
 
     for (std::uint32_t iter = 0; iter < crash_iter; ++iter)
-        runIteration(iter, false);
+        runIteration(iter, std::nullopt);
 
+    // Same mid-kernel point the fixed-fraction harness always used:
+    // half the launch's thread phases.
+    const std::uint64_t blocks = std::max<std::uint64_t>(
+        1, ceilDiv(p_.pixels(), std::uint64_t(256) * 15));
     try {
-        runIteration(crash_iter, true);
+        runIteration(crash_iter,
+                     CrashPoint::afterThreadPhases(blocks * 256 / 2));
         GPM_ASSERT(false, "SRAD crash point did not fire");
     } catch (const KernelCrashed &) {
     }
@@ -284,12 +290,69 @@ GpSrad::runWithCrash(std::uint32_t crash_iter, double survive_prob)
     r.recovery_ns = m_->now() - r0;
 
     for (std::uint32_t iter = done; iter < p_.iterations; ++iter)
-        runIteration(iter, false);
+        runIteration(iter, std::nullopt);
 
     r.verified = host_img_ == referenceImage() && done == crash_iter;
     r.op_ns = m_->now() - r0;
     r.ops_done = p_.iterations - done;
     return r;
+}
+
+CrashOutcome
+GpSrad::runCrashPoint(std::uint32_t crash_iter, const CrashPoint &point,
+                      double survive_prob, bool open_persist_window)
+{
+    GPM_REQUIRE(inKernelPersistence(m_->kind()),
+                "SRAD resume needs in-kernel persistence");
+    GPM_REQUIRE(crash_iter < p_.iterations, "crash iteration too late");
+    setup();
+
+    const bool window =
+        open_persist_window && m_->kind() == PlatformKind::Gpm;
+    if (window)
+        gpmPersistBegin(*m_);
+
+    for (std::uint32_t iter = 0; iter < crash_iter; ++iter)
+        runIteration(iter, std::nullopt);
+
+    CrashOutcome o;
+    try {
+        runIteration(crash_iter, point);
+    } catch (const KernelCrashed &) {
+        o.fired = true;
+    }
+    m_->pool().crash(survive_prob);
+
+    // Reboot. Recovery always opens a persist window of its own: the
+    // restarted process configures DDIO correctly even if the crashed
+    // one never did.
+    const bool reopen = !window && m_->kind() == PlatformKind::Gpm;
+    if (reopen)
+        gpmPersistBegin(*m_);
+    const std::uint32_t done =
+        m_->pool().load<std::uint32_t>(meta_.offset);
+    const std::uint64_t n = p_.pixels();
+    host_img_.assign(n, 0.0f);
+    m_->pool().read(imgAddr(done % 2, 0), host_img_.data(), n * 4);
+    m_->cpuPmRead(n * 4, p_.cap_threads);
+    for (std::uint32_t iter = done; iter < p_.iterations; ++iter)
+        runIteration(iter, std::nullopt);
+    o.recovery_ran = true;
+    if (reopen)
+        gpmPersistEnd(*m_);
+    if (window)
+        gpmPersistEnd(*m_);
+
+    // Recompute recovery: one legal final state regardless of where
+    // (or whether) the crash landed.
+    o.strict_ok = host_img_ == referenceImage();
+    std::vector<float> durable_img(n, 0.0f);
+    m_->pool().read(imgAddr(p_.iterations % 2, 0), durable_img.data(),
+                    n * 4);
+    o.state_hash = fnv1aU64(
+        m_->pool().load<std::uint32_t>(meta_.offset),
+        fnv1a(durable_img.data(), n * 4));
+    return o;
 }
 
 std::vector<float>

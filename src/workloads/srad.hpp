@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "gpusim/kernel.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpm {
@@ -65,6 +67,18 @@ class GpSrad
     WorkloadResult runWithCrash(std::uint32_t crash_iter,
                                 double survive_prob);
 
+    /**
+     * Descriptor-armed crash run: crash iteration @p crash_iter at
+     * @p point, reboot from the durable iteration counter + image
+     * buffer, resume to completion. strict_ok means the final image
+     * matches the full-run reference (recompute recovery: one legal
+     * final state).
+     */
+    CrashOutcome runCrashPoint(std::uint32_t crash_iter,
+                               const CrashPoint &point,
+                               double survive_prob,
+                               bool open_persist_window = true);
+
     /** Host reference: the full diffusion run in plain C++. */
     std::vector<float> referenceImage() const;
 
@@ -72,7 +86,8 @@ class GpSrad
     double imageVariance() const;
 
   private:
-    void runIteration(std::uint32_t iter, bool crashing);
+    void runIteration(std::uint32_t iter,
+                      const std::optional<CrashPoint> &crash);
     std::uint64_t imgAddr(std::uint32_t buf, std::uint64_t pix) const;
     std::uint64_t coefAddr(std::uint64_t pix) const;
 

@@ -17,6 +17,26 @@
 
 namespace gpm {
 
+/**
+ * Outcome of one descriptor-armed crash run (the torture-matrix unit
+ * of work). Each crash-capable workload exposes a runCrashPoint()
+ * returning one of these after crash + reboot + recovery.
+ *
+ * strict_ok is the failure-atomicity invariant: the durable state
+ * equals a committed-prefix state (either the pre-batch reference or,
+ * when the armed point never fired and the batch committed, the
+ * post-batch state). Under PersistDomain::LlcVolatile it is *expected*
+ * to fail for transactional workloads — that observable failure is the
+ * DDIO trap of section 6.1, and the torture runner records rather than
+ * asserts it there.
+ */
+struct CrashOutcome {
+    bool fired = false;        ///< the armed crash point triggered
+    bool recovery_ran = false; ///< a recovery path executed post-reboot
+    bool strict_ok = false;    ///< committed-prefix durability held
+    std::uint64_t state_hash = 0;  ///< FNV of recovered durable state
+};
+
 /** Outcome of one workload execution on one platform. */
 struct WorkloadResult {
     bool supported = true;     ///< false: platform cannot run it (GPUfs)

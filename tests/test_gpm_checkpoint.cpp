@@ -77,6 +77,38 @@ TEST(GpmCheckpoint, CheckpointRestoreRoundTrip)
     EXPECT_EQ(b, pattern(500, 2));
 }
 
+TEST(GpmCheckpoint, ReopenAfterFlipReportsLatestCheckpoint)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    gpmPersistBegin(m);
+    std::vector<std::uint8_t> data = pattern(3000, 1);
+    {
+        GpmCheckpoint cp = GpmCheckpoint::create(m, "cp", 4096, 4, 2);
+        cp.registerData(0, data.data(), data.size());
+        cp.checkpoint(0);
+        const std::uint32_t first_valid = cp.validIndex(0);
+
+        // A second checkpoint flips to the other buffer. Refill in
+        // place: the registration pins data.data().
+        const std::vector<std::uint8_t> next = pattern(3000, 2);
+        std::copy(next.begin(), next.end(), data.begin());
+        cp.checkpoint(0);
+        EXPECT_NE(cp.validIndex(0), first_valid);
+    }
+
+    // A fresh handle (reboot) sees the flipped index, the advanced
+    // sequence, and restores the *second* checkpoint's contents;
+    // group 1, never checkpointed, is still at sequence 0.
+    GpmCheckpoint reopened = GpmCheckpoint::open(m, "cp");
+    EXPECT_EQ(reopened.sequence(0), 2u);
+    EXPECT_EQ(reopened.sequence(1), 0u);
+    std::vector<std::uint8_t> out(3000, 0);
+    reopened.registerData(0, out.data(), out.size());
+    reopened.restore(0);
+    EXPECT_EQ(out, pattern(3000, 2));
+}
+
 TEST(GpmCheckpoint, GroupsAreIndependent)
 {
     SimConfig cfg;
@@ -139,8 +171,11 @@ TEST_P(CheckpointCrash, MidCheckpointCrashKeepsPreviousCopy)
     cp.checkpoint(0);  // consistent copy: pattern(6)
     const std::uint32_t valid_before = cp.validIndex(0);
 
-    // New volatile state; die mid-copy at a swept fraction.
-    data = pattern(60000, 7);
+    // New volatile state (refilled in place — the registration pins
+    // data.data(); a vector move-assign would free the registered
+    // buffer under the copy kernel); die mid-copy at a swept fraction.
+    const std::vector<std::uint8_t> next = pattern(60000, 7);
+    std::copy(next.begin(), next.end(), data.begin());
     cp.armCrashNextCheckpoint(0.1 * GetParam());
     try {
         cp.checkpoint(0);

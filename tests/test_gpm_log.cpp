@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/rng.hpp"
 #include "gpm/gpm_log.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
@@ -300,6 +302,125 @@ TEST(GpmLog, RegionSizingFormula)
     // data = 2 blocks * 2 warps * 4 rows * 3 stripes * 128 B.
     EXPECT_EQ(GpmLog::hclRegionBytes(12, 4, 2, 64, 32),
               256u + 2 * 2 * 4 * 3 * 128 + 2 * 64 * 4);
+}
+
+TEST(GpmLogHcl, RandomGeometriesStripeWithoutOverlap)
+{
+    // Property sweep over random (entry_bytes, blocks, block_threads,
+    // rows) shapes: every 4 B chunk slot of every thread must be
+    // unique, inside the data area of hclRegionBytes, and clear of
+    // the tail array.
+    Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto blocks =
+            static_cast<std::uint32_t>(rng.between(1, 5));
+        const auto tpb =
+            static_cast<std::uint32_t>(rng.between(1, 6) * 32 -
+                                       (rng.chance(0.3) ? 16 : 0));
+        const auto entry_bytes =
+            static_cast<std::uint32_t>(rng.between(1, 48));
+        const auto rows = static_cast<std::uint32_t>(rng.between(1, 4));
+
+        SimConfig cfg;
+        Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+        GpmLog log =
+            GpmLog::createHcl(m, "log", entry_bytes, rows, blocks, tpb);
+        const std::string shape =
+            "b" + std::to_string(blocks) + " t" + std::to_string(tpb) +
+            " e" + std::to_string(entry_bytes) + " r" +
+            std::to_string(rows);
+
+        ASSERT_EQ(log.region().size,
+                  GpmLog::hclRegionBytes(
+                      entry_bytes, rows, blocks, tpb,
+                      static_cast<std::uint32_t>(cfg.warp_size)))
+            << shape;
+
+        const std::uint32_t chunks =
+            static_cast<std::uint32_t>(alignUp(entry_bytes, 4)) / 4;
+        const std::uint64_t threads = std::uint64_t(blocks) * tpb;
+        // Tails live at the end of the region, one u32 per thread.
+        const std::uint64_t tails_lo =
+            log.region().offset + log.region().size - threads * 4;
+        std::set<std::uint64_t> seen;
+        for (std::uint64_t t = 0; t < threads; ++t) {
+            for (std::uint32_t r = 0; r < rows; ++r) {
+                for (std::uint32_t k = 0; k < chunks; ++k) {
+                    const std::uint64_t addr = log.chunkAddr(t, r, k);
+                    ASSERT_TRUE(seen.insert(addr).second)
+                        << shape << ": duplicate slot, thread " << t;
+                    ASSERT_GE(addr, log.region().offset + 256) << shape;
+                    ASSERT_LE(addr + 4, tails_lo) << shape;
+                }
+            }
+        }
+    }
+}
+
+TEST(GpmLogHcl, ReopenRoundTripsHeaderAndTails)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    gpmPersistBegin(m);
+    {
+        GpmLog log = GpmLog::createHcl(m, "log", sizeof(Entry24), 3,
+                                       2, 64);
+        KernelDesc k;
+        k.name = "fill";
+        k.blocks = 2;
+        k.block_threads = 64;
+        k.phases.push_back([&](ThreadCtx &ctx) {
+            const Entry24 e{ctx.globalId(), ctx.globalId() * 3, 77};
+            log.insert(ctx, &e, sizeof(e));
+            if (ctx.globalId() % 2 == 0)
+                log.insert(ctx, &e, sizeof(e));
+        });
+        m.runKernel(k);
+        log.close();
+    }
+
+    GpmLog reopened = GpmLog::open(m, "log");
+    EXPECT_EQ(reopened.header().magic, GpmLog::kMagic);
+    EXPECT_EQ(reopened.header().type, GpmLog::Hcl);
+    EXPECT_EQ(reopened.header().entry_bytes, 24u);
+    EXPECT_EQ(reopened.header().max_entries, 3u);
+    EXPECT_EQ(reopened.header().blocks, 2u);
+    EXPECT_EQ(reopened.header().block_threads, 64u);
+    EXPECT_EQ(reopened.entryCount(), 128u + 64u);
+    for (std::uint64_t t = 0; t < 128; ++t)
+        EXPECT_EQ(reopened.tailOf(t), t % 2 == 0 ? 2u : 1u);
+    Entry24 got;
+    reopened.readEntryHost(6, 1, &got, sizeof(got));
+    EXPECT_EQ(got.a, 6u);
+    EXPECT_EQ(got.b, 18u);
+    EXPECT_EQ(got.c, 77u);
+}
+
+TEST(GpmLogConv, ReopenRoundTripsPartitions)
+{
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    gpmPersistBegin(m);
+    {
+        GpmLog log = GpmLog::createConv(m, "clog", 16_KiB, 4);
+        KernelDesc k;
+        k.name = "fill";
+        k.blocks = 1;
+        k.block_threads = 64;
+        k.phases.push_back([&](ThreadCtx &ctx) {
+            const std::uint64_t e = ctx.globalId();
+            log.insert(ctx, &e, sizeof(e));
+        });
+        m.runKernel(k);
+        log.close();
+    }
+
+    GpmLog reopened = GpmLog::open(m, "clog");
+    EXPECT_EQ(reopened.header().type, GpmLog::Conventional);
+    EXPECT_EQ(reopened.header().n_partitions, 4u);
+    EXPECT_EQ(reopened.header().partition_bytes, 16_KiB);
+    for (std::uint32_t p = 0; p < 4; ++p)
+        EXPECT_EQ(reopened.partitionBytesUsed(p), 16u * 8);
 }
 
 } // namespace
