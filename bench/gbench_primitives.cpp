@@ -63,6 +63,53 @@ BM_KernelLaunchSmall(benchmark::State &state)
 BENCHMARK(BM_KernelLaunchSmall);
 
 void
+BM_SiteTableManySites(benchmark::State &state)
+{
+    // One warp issuing stores from 16 distinct program sites, 8 loop
+    // occurrences each — the pattern that made the executor's old
+    // per-thread site lookup (a linear scan of every site seen so
+    // far) quadratic in sites-per-thread. The open-addressed
+    // SiteTable keeps each lookup O(1).
+    SimConfig cfg;
+    PmPool pool(16_MiB, PersistDomain::McDurable);
+    NvmModel nvm(cfg);
+    GpuExecutor gpu(cfg, pool, nvm);
+    KernelDesc k;
+    k.name = "many_sites";
+    k.blocks = 1;
+    k.block_threads = 32;
+    k.phases.push_back([](ThreadCtx &ctx) {
+        const std::uint64_t base = ctx.globalId() * 8192;
+        const std::uint64_t v = 1;
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            // Macro-unrolled so every store is a distinct call site.
+#define GPM_BM_SITE(n) ctx.pmWrite(base + (n) * 512 + i * 32, &v, 8)
+            GPM_BM_SITE(0);
+            GPM_BM_SITE(1);
+            GPM_BM_SITE(2);
+            GPM_BM_SITE(3);
+            GPM_BM_SITE(4);
+            GPM_BM_SITE(5);
+            GPM_BM_SITE(6);
+            GPM_BM_SITE(7);
+            GPM_BM_SITE(8);
+            GPM_BM_SITE(9);
+            GPM_BM_SITE(10);
+            GPM_BM_SITE(11);
+            GPM_BM_SITE(12);
+            GPM_BM_SITE(13);
+            GPM_BM_SITE(14);
+            GPM_BM_SITE(15);
+#undef GPM_BM_SITE
+        }
+    });
+    for (auto _ : state)
+        gpu.launch(k);
+    state.SetItemsProcessed(state.iterations() * 32 * 128);
+}
+BENCHMARK(BM_SiteTableManySites);
+
+void
 BM_HclInsert(benchmark::State &state)
 {
     SimConfig cfg;

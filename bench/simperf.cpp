@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Simulator host-performance benchmark: how fast does the simulation
+ * itself run, and how well does it scale across host threads?
+ *
+ * Unlike the figure benches (which report *modelled* time), simperf
+ * times the host wall-clock of three representative stages and emits
+ * machine-readable results to BENCH_simperf.json:
+ *
+ *  1. fig9-cells: the full Figure 9 (workload x platform) matrix,
+ *     with independent cells (each its own Machine) distributed over
+ *     1/2/4/8 host threads — the coarse-grain parallel lever.
+ *  2. block-engine: GPM cells whose kernels carry the
+ *     block_independent marking, re-run with SimConfig::exec_workers
+ *     = 1/2/4/8 — the fine-grain parallel executor under test. The
+ *     modelled results are bit-identical at every width (enforced by
+ *     test_parallel_executor); only host time may change.
+ *  3. crash-matrix: a 300-scenario bounded torture sweep (5 workloads
+ *     x 3 domains x 4 crash specs x 5 eviction seeds), sequential by
+ *     construction (scenario outcomes fold into an order-sensitive
+ *     signature).
+ *
+ * --smoke shrinks every stage to a seconds-scale CI gate; the JSON
+ * shape is identical so downstream tooling never branches.
+ */
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/status.hpp"
+#include "crashtest/torture_runner.hpp"
+#include "harness/experiments.hpp"
+
+using namespace gpm;
+using namespace gpm::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Cell {
+    Bench b;
+    PlatformKind kind;
+};
+
+struct StageRow {
+    std::string stage;
+    unsigned jobs = 1;
+    std::size_t units = 0;   ///< cells or scenarios completed
+    double wall_s = 0.0;
+
+    double
+    unitsPerSec() const
+    {
+        return wall_s > 0 ? units / wall_s : 0.0;
+    }
+};
+
+/**
+ * Run every cell once, @p jobs host threads pulling from a shared
+ * cursor. Returns wall seconds. ops_sink guards against the whole
+ * run being optimized away and doubles as a cross-width sanity check.
+ */
+double
+runCells(const std::vector<Cell> &cells, unsigned jobs,
+         int exec_workers, double &ops_sink)
+{
+    std::atomic<std::size_t> next{0};
+    std::vector<double> ops(jobs, 0.0);
+    const auto t0 = Clock::now();
+    auto worker = [&](unsigned j) {
+        SimConfig cfg;
+        cfg.exec_workers = exec_workers;
+        for (std::size_t i; (i = next.fetch_add(1)) < cells.size();) {
+            const WorkloadResult r =
+                runBench(cells[i].b, cells[i].kind, cfg);
+            if (r.supported)
+                ops[j] += r.ops_done;
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned j = 1; j < jobs; ++j)
+        pool.emplace_back(worker, j);
+    worker(0);
+    for (std::thread &t : pool)
+        t.join();
+    const double wall = secondsSince(t0);
+    ops_sink = 0.0;
+    for (const double o : ops)
+        ops_sink += o;
+    return wall;
+}
+
+TortureConfig
+crashMatrixConfig(bool smoke)
+{
+    TortureConfig cfg;
+    cfg.specs = CrashScheduler::parseList(
+        "frac:0.25,frac:0.75,before-fence:1,after-store:2");
+    cfg.seeds = smoke ? std::vector<std::uint64_t>{1}
+                      : std::vector<std::uint64_t>{1, 2, 3, 4, 5};
+    cfg.survive_probs = {0.5};
+    return cfg;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const unsigned host_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+
+    // The jobs axis never exaggerates: widths beyond the host's
+    // actual thread count are reported but cannot speed anything up.
+    const std::vector<unsigned> widths =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+
+    std::vector<Cell> fig9;
+    std::vector<Cell> engine;
+    if (smoke) {
+        fig9 = {{Bench::PrefixSum, PlatformKind::Gpm},
+                {Bench::Srad, PlatformKind::Gpm}};
+        engine = fig9;
+    } else {
+        for (const Bench b : kAllBenches)
+            for (const PlatformKind kind :
+                 {PlatformKind::CapFs, PlatformKind::CapMm,
+                  PlatformKind::Gpm, PlatformKind::Gpufs})
+                fig9.push_back({b, kind});
+        // GPM cells whose hot kernels are block_independent (native
+        // persistence + checkpointing; see DESIGN.md section 4).
+        for (const Bench b :
+             {Bench::PrefixSum, Bench::Srad, Bench::DbInsert,
+              Bench::Dnn, Bench::Blk, Bench::Hotspot})
+            engine.push_back({b, PlatformKind::Gpm});
+    }
+
+    std::vector<StageRow> rows;
+    double ref_ops = -1.0;
+
+    // Stage 1: cell-level parallelism over the Fig 9 matrix.
+    for (const unsigned jobs : widths) {
+        double ops = 0.0;
+        StageRow r{"fig9-cells", jobs, fig9.size(),
+                   runCells(fig9, jobs, /*exec_workers=*/1, ops)};
+        if (ref_ops < 0)
+            ref_ops = ops;
+        GPM_REQUIRE(ops == ref_ops,
+                    "fig9 ops diverged across widths: ", ops, " vs ",
+                    ref_ops);
+        rows.push_back(r);
+    }
+
+    // Stage 2: the parallel block engine, cells sequential.
+    for (const unsigned workers : widths) {
+        double ops = 0.0;
+        rows.push_back({"block-engine", workers, engine.size(),
+                        runCells(engine, /*jobs=*/1,
+                                 static_cast<int>(workers), ops)});
+    }
+
+    // Stage 3: the bounded crash matrix.
+    const TortureConfig tcfg = crashMatrixConfig(smoke);
+    const auto t0 = Clock::now();
+    const TortureReport treport = TortureRunner::run(tcfg);
+    const double torture_wall = secondsSince(t0);
+    rows.push_back(
+        {"crash-matrix", 1, treport.results.size(), torture_wall});
+    GPM_REQUIRE(treport.violations() == 0,
+                "crash matrix reported violations");
+
+    // ---- report ---------------------------------------------------------
+    Table table({"Stage", "Jobs", "Units", "Wall (s)", "Units/s"});
+    for (const StageRow &r : rows)
+        table.addRow({r.stage, std::to_string(r.jobs),
+                      std::to_string(r.units), Table::num(r.wall_s),
+                      Table::num(r.unitsPerSec())});
+    report("simperf: host wall-clock of the simulator itself (" +
+               std::to_string(host_threads) + " host threads)",
+           table);
+
+    const double base = rows.front().wall_s;
+    double best = base;
+    for (const StageRow &r : rows)
+        if (r.stage == "fig9-cells" && r.wall_s < best)
+            best = r.wall_s;
+    std::cout << "fig9 matrix best speedup: "
+              << Table::num(best > 0 ? base / best : 0.0) << "x over "
+              << widths.size() << " widths\n";
+
+    std::ofstream js("BENCH_simperf.json", std::ios::trunc);
+    js << "{\n  \"host_threads\": " << host_threads
+       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+       << ",\n  \"stages\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const StageRow &r = rows[i];
+        js << "    {\"stage\": \"" << r.stage
+           << "\", \"jobs\": " << r.jobs << ", \"units\": " << r.units
+           << ", \"wall_s\": " << r.wall_s
+           << ", \"units_per_s\": " << r.unitsPerSec() << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n  \"crash_matrix\": {\"scenarios\": "
+       << treport.results.size()
+       << ", \"violations\": " << treport.violations()
+       << ", \"signature\": \"" << hex(treport.signature())
+       << "\"},\n  \"fig9_best_speedup\": "
+       << (best > 0 ? base / best : 0.0) << "\n}\n";
+    GPM_REQUIRE(js.good(), "failed writing BENCH_simperf.json");
+    return 0;
+}

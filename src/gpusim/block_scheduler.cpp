@@ -1,0 +1,315 @@
+#include "gpusim/block_scheduler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpm {
+
+// ---- SiteTable -----------------------------------------------------------
+
+std::uint32_t
+SiteTable::next(SiteId site)
+{
+    if (live_ * 2 >= slots_.size())
+        grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::uint64_t h = site * 0x9e3779b97f4a7c15ull;
+    std::size_t i = (h ^ (h >> 32)) & mask;
+    for (;;) {
+        Slot &s = slots_[i];
+        if (s.epoch != epoch_) {
+            s.site = site;
+            s.epoch = epoch_;
+            s.count = 1;
+            ++live_;
+            return 0;
+        }
+        if (s.site == site)
+            return s.count++;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+SiteTable::grow()
+{
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    live_ = 0;
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot &s : old) {
+        if (s.epoch != epoch_)
+            continue;
+        std::uint64_t h = s.site * 0x9e3779b97f4a7c15ull;
+        std::size_t i = (h ^ (h >> 32)) & mask;
+        while (slots_[i].epoch == epoch_)
+            i = (i + 1) & mask;
+        slots_[i] = s;
+        ++live_;
+    }
+}
+
+// ---- WarpFlushScratch ----------------------------------------------------
+
+std::uint32_t
+WarpFlushScratch::groupOf(SiteId site, std::uint32_t occurrence,
+                          std::uint64_t stream, std::uint32_t ngroups)
+{
+    const std::size_t mask = slots.size() - 1;
+    std::uint64_t h = site * 0x9e3779b97f4a7c15ull;
+    h ^= (std::uint64_t(occurrence) + 1) * 0xff51afd7ed558ccdull;
+    h ^= (stream + 1) * 0xc4ceb9fe1a85ec53ull;
+    std::size_t i = (h ^ (h >> 32)) & mask;
+    for (;;) {
+        Slot &s = slots[i];
+        if (s.epoch != epoch) {
+            s.site = site;
+            s.stream = stream;
+            s.occurrence = occurrence;
+            s.group = ngroups;
+            s.epoch = epoch;
+            return ngroups;
+        }
+        if (s.site == site && s.occurrence == occurrence &&
+            s.stream == stream)
+            return s.group;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+WarpFlushScratch::coalesce(std::uint64_t granule, std::uint64_t global_warp,
+                           WarpRecorder &warp, LaunchStats &stats,
+                           std::vector<LineTxn> &out)
+{
+    std::vector<WarpAccess> &acc = warp.accesses;
+    if (acc.empty())
+        return;
+
+    // Keep the load factor under 1/2 so every probe terminates; the
+    // group count is bounded by the access count.
+    if (slots.size() < acc.size() * 2 + 2) {
+        std::size_t n = slots.size();
+        while (n < acc.size() * 2 + 2)
+            n *= 2;
+        slots.assign(n, Slot{});
+    }
+    ++epoch;
+
+    // Pass 1: assign each access its (site, occurrence, stream) group
+    // in first-appearance order — the SIMT instruction stream of the
+    // warp, exactly the order the old std::map grouping produced.
+    group_of.clear();
+    std::uint32_t ngroups = 0;
+    for (const WarpAccess &a : acc) {
+        const std::uint32_t g =
+            groupOf(a.site, a.occurrence, a.stream, ngroups);
+        if (g == ngroups)
+            ++ngroups;
+        group_of.push_back(g);
+    }
+
+    // Pass 2: counting scatter so each group's accesses land
+    // contiguously, preserving intra-group program order.
+    cursor.assign(ngroups, 0);
+    for (const std::uint32_t g : group_of)
+        ++cursor[g];
+    group_start.assign(ngroups + 1, 0);
+    for (std::uint32_t g = 0; g < ngroups; ++g)
+        group_start[g + 1] = group_start[g] + cursor[g];
+    grouped.resize(acc.size());
+    std::fill(cursor.begin(), cursor.end(), 0u);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+        const std::uint32_t g = group_of[i];
+        grouped[group_start[g] + cursor[g]++] = &acc[i];
+    }
+
+    // Pass 3: per group, one transaction per touched coalescing line
+    // in ascending address order (lane order on real hardware).
+    for (std::uint32_t g = 0; g < ngroups; ++g) {
+        const WarpAccess *first = grouped[group_start[g]];
+        const std::uint64_t stream =
+            first->stream != 0 ? first->stream : global_warp;
+        lines.clear();
+        for (std::uint32_t i = group_start[g]; i < group_start[g + 1];
+             ++i) {
+            const WarpAccess *a = grouped[i];
+            const std::uint64_t lo = a->addr / granule;
+            const std::uint64_t hi = (a->addr + a->size - 1) / granule;
+            for (std::uint64_t l = lo; l <= hi; ++l)
+                lines.push_back(l);
+        }
+        std::sort(lines.begin(), lines.end());
+        lines.erase(std::unique(lines.begin(), lines.end()),
+                    lines.end());
+        for (const std::uint64_t line : lines) {
+            out.push_back(LineTxn{stream, line * granule});
+            ++stats.pm_line_txns;
+            stats.pm_line_bytes += granule;
+        }
+    }
+    acc.clear();
+}
+
+// ---- WriteOverlay --------------------------------------------------------
+
+std::uint8_t *
+WriteOverlay::pageFor(std::uint64_t page)
+{
+    auto [it, inserted] = page_of_.try_emplace(
+        page, static_cast<std::uint32_t>(page_of_.size()));
+    std::uint8_t *slot = nullptr;
+    if (inserted) {
+        arena_.resize(arena_.size() + kPageBytes, 0);
+        slot = arena_.data() + std::size_t(it->second) * kPageBytes;
+        // Seed from the shared visible image (read-only to workers);
+        // the pool tail may end mid-page.
+        const std::uint64_t base = page * kPageBytes;
+        const std::uint64_t cap = pool_->capacity();
+        if (base < cap)
+            std::memcpy(slot, pool_->visible() + base,
+                        std::min<std::uint64_t>(kPageBytes, cap - base));
+    } else {
+        slot = arena_.data() + std::size_t(it->second) * kPageBytes;
+    }
+    return slot;
+}
+
+void
+WriteOverlay::apply(std::uint64_t addr, const void *src, std::uint64_t size)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(src);
+    while (size > 0) {
+        const std::uint64_t page = addr / kPageBytes;
+        const std::uint64_t off = addr % kPageBytes;
+        const std::uint64_t n = std::min(kPageBytes - off, size);
+        std::memcpy(pageFor(page) + off, p, n);
+        addr += n;
+        p += n;
+        size -= n;
+    }
+}
+
+void
+WriteOverlay::read(std::uint64_t addr, void *dst, std::uint64_t size) const
+{
+    std::uint8_t *p = static_cast<std::uint8_t *>(dst);
+    while (size > 0) {
+        const std::uint64_t page = addr / kPageBytes;
+        const std::uint64_t off = addr % kPageBytes;
+        const std::uint64_t n = std::min(kPageBytes - off, size);
+        const auto it = page_of_.find(page);
+        if (it != page_of_.end())
+            std::memcpy(p,
+                        arena_.data() +
+                            std::size_t(it->second) * kPageBytes + off,
+                        n);
+        else
+            std::memcpy(p, pool_->visible() + addr, n);
+        addr += n;
+        p += n;
+        size -= n;
+    }
+}
+
+// ---- BlockScheduler ------------------------------------------------------
+
+BlockScheduler::BlockScheduler(unsigned extra_workers)
+{
+    GPM_REQUIRE(extra_workers >= 1,
+                "BlockScheduler needs at least one extra worker");
+    workers_.reserve(extra_workers);
+    for (unsigned i = 0; i < extra_workers; ++i)
+        workers_.emplace_back(
+            [this, lane = i + 1] { workerLoop(lane); });
+}
+
+BlockScheduler::~BlockScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+BlockScheduler::dispatch(
+    std::uint32_t blocks,
+    const std::function<void(unsigned, std::uint32_t)> &fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        fn_ = &fn;
+        blocks_ = blocks;
+        next_.store(0, std::memory_order_relaxed);
+        abort_.store(false, std::memory_order_relaxed);
+        error_ = nullptr;
+        active_ = static_cast<unsigned>(workers_.size());
+        ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    // The caller is lane 0: it claims blocks like any worker, then
+    // waits for the stragglers.
+    claimLoop(0);
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    fn_ = nullptr;
+    if (error_) {
+        std::exception_ptr e = error_;
+        error_ = nullptr;
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+void
+BlockScheduler::workerLoop(unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            wake_cv_.wait(lk,
+                          [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        claimLoop(lane);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            if (--active_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+}
+
+void
+BlockScheduler::claimLoop(unsigned lane)
+{
+    // fn_/blocks_ were published under m_ before this lane observed
+    // the new generation (workers) or before notify (the caller), and
+    // stay untouched until every lane is done.
+    const auto *fn = fn_;
+    const std::uint32_t blocks = blocks_;
+    while (!abort_.load(std::memory_order_relaxed)) {
+        const std::uint32_t b =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (b >= blocks)
+            break;
+        try {
+            (*fn)(lane, b);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!error_)
+                error_ = std::current_exception();
+            abort_.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+} // namespace gpm

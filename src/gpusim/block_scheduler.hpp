@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Parallel block-scheduling execution engine.
+ *
+ * The functional executor (gpu_executor.hpp) runs a grid's blocks in
+ * sequence; every figure in the reproduction funnels through it, so
+ * bench/torture sweeps are bounded by simulator wall-clock. This file
+ * provides the machinery to run *independent* blocks concurrently on
+ * host threads while keeping every observable — LaunchStats, NVM tier
+ * classification, the pool's pending-extent order and the durable
+ * image — bit-identical to the sequential order:
+ *
+ *  - BlockScheduler: a persistent pool of host workers plus the
+ *    calling thread, claiming block indices from an atomic cursor
+ *    (dynamic load balance; assignment order is free because results
+ *    are merged by block index, not completion order).
+ *
+ *  - ExecLane: one worker's reusable execution context. In *direct*
+ *    mode (sequential launches) the lane applies PM stores and NVM
+ *    transactions straight to the shared models. In *buffered* mode
+ *    (parallel launches) the lane records a shadow log instead:
+ *    PmPool mutations as (op, payload) pairs, coalesced NVM line
+ *    transactions as (stream, line) pairs, and per-block LaunchStats.
+ *    Loads observe the block's own prior stores through a
+ *    copy-on-write page overlay on the shared visible image — legal
+ *    because a block_independent contract guarantees no cross-block
+ *    read-after-write within the launch.
+ *
+ *  - Deterministic block-ordered reduction: after all workers join,
+ *    the launch replays every block's shadow log into the real
+ *    PmPool/NvmModel *in block index order*. Since blocks are
+ *    independent, replaying block b's ops contiguously is a legal
+ *    reordering of the sequential interleaving... and because the
+ *    sequential executor also runs blocks whole-block-at-a-time, it
+ *    is exactly the sequential order. Stats merge in block order too,
+ *    so even floating-point sums (work_ops) associate identically.
+ *
+ * The lane also owns the serial hot-path scratch shared by both
+ * modes: an O(1) open-addressed per-thread site-occurrence table
+ * (replacing ThreadCtx's per-construction linear scan) and the flat
+ * warp-coalescing scratch (replacing two std::maps per warp flush).
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/launch_stats.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+
+/** One coalesced NVM line transaction (size is the coalesce granule). */
+struct LineTxn {
+    std::uint64_t stream;
+    std::uint64_t addr;
+};
+
+/**
+ * Per-thread occurrence counters for static access sites, O(1) per
+ * lookup via open addressing. Epoch stamping makes beginThread() O(1):
+ * slots from earlier threads are simply stale, never cleared.
+ */
+class SiteTable
+{
+  public:
+    /** Start counting for a fresh (thread, phase) execution. */
+    void
+    beginThread()
+    {
+        ++epoch_;
+        live_ = 0;
+    }
+
+    /** 0-based occurrence of @p site within the current thread. */
+    std::uint32_t next(SiteId site);
+
+  private:
+    struct Slot {
+        SiteId site = 0;
+        std::uint64_t epoch = 0;
+        std::uint32_t count = 0;
+    };
+
+    void grow();
+
+    std::vector<Slot> slots_ = std::vector<Slot>(64);
+    std::uint64_t epoch_ = 0;
+    std::size_t live_ = 0;
+};
+
+/**
+ * Reusable scratch for warp-flush coalescing: groups a warp's phase
+ * accesses by (site, occurrence, stream) in first-appearance order and
+ * dedups touched coalescing lines per group in ascending address
+ * order — the exact grouping the old std::map pair produced, without
+ * a node allocation per access.
+ */
+struct WarpFlushScratch {
+    struct Slot {
+        SiteId site = 0;
+        std::uint64_t stream = 0;
+        std::uint32_t occurrence = 0;
+        std::uint32_t group = 0;
+        std::uint64_t epoch = 0;
+    };
+
+    std::vector<Slot> slots = std::vector<Slot>(64);
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> group_of;    ///< access index -> group
+    std::vector<std::uint32_t> group_start; ///< group -> first slot
+    std::vector<std::uint32_t> cursor;      ///< scatter cursors
+    std::vector<const WarpAccess *> grouped;
+    std::vector<std::uint64_t> lines;
+
+    /**
+     * Coalesce @p warp's buffered accesses: append one LineTxn per
+     * (group, touched line) to @p out and account pm_line_* in
+     * @p stats. Clears the recorder for the next phase.
+     */
+    void coalesce(std::uint64_t granule, std::uint64_t global_warp,
+                  WarpRecorder &warp, LaunchStats &stats,
+                  std::vector<LineTxn> &out);
+
+  private:
+    std::uint32_t groupOf(SiteId site, std::uint32_t occurrence,
+                          std::uint64_t stream, std::uint32_t ngroups);
+};
+
+/**
+ * Copy-on-write page overlay over the shared visible image. A
+ * buffered block's loads must observe its *own* earlier stores (e.g.
+ * the HCL log tail read-modify-write) without mutating the shared
+ * pool other workers are concurrently reading, so written pages are
+ * privatized at kPageBytes granularity.
+ */
+class WriteOverlay
+{
+  public:
+    /** Begin a block: forget all privatized pages. */
+    void
+    beginBlock(const PmPool *pool)
+    {
+        pool_ = pool;
+        page_of_.clear();
+        arena_.clear();
+    }
+
+    void apply(std::uint64_t addr, const void *src, std::uint64_t size);
+    void read(std::uint64_t addr, void *dst, std::uint64_t size) const;
+
+    static constexpr std::uint64_t kPageBytes = 256;
+
+  private:
+    std::uint8_t *pageFor(std::uint64_t page);
+
+    const PmPool *pool_ = nullptr;
+    std::unordered_map<std::uint64_t, std::uint32_t> page_of_;
+    std::vector<std::uint8_t> arena_;
+};
+
+/** One buffered PmPool mutation, replayed in block order. */
+struct ShadowOp {
+    enum class Kind : std::uint8_t {
+        Write,  ///< deviceWrite(owner, addr, payload, size)
+        Fence,  ///< persistOwner(owner)
+    };
+
+    Kind kind;
+    OwnerId owner;
+    std::uint64_t addr;
+    std::uint64_t size;
+    std::size_t payload;  ///< offset into ExecLane::payload
+};
+
+/** One block's shadow log location and stats after a parallel launch. */
+struct BlockSlice {
+    LaunchStats stats;
+    std::uint32_t lane = 0;
+    std::size_t ops_begin = 0, ops_end = 0;
+    std::size_t txns_begin = 0, txns_end = 0;
+};
+
+/**
+ * One worker's execution context: shadow buffers for buffered mode
+ * plus the scratch both modes reuse across blocks and launches
+ * (pooled WarpRecorder buffers, flush scratch, site table).
+ */
+struct ExecLane {
+    // Shadow log (buffered mode only). Payload bytes are captured per
+    // op at execution time — NOT from the overlay at the end — because
+    // a fence between two stores to the same address must drain the
+    // earlier value, exactly as the live pool would.
+    std::vector<ShadowOp> ops;
+    std::vector<std::uint8_t> payload;
+    std::vector<LineTxn> txns;
+    WriteOverlay overlay;
+
+    // Reusable per-block scratch (both modes).
+    std::vector<WarpRecorder> warps;
+    WarpFlushScratch flush;
+    SiteTable sites;
+
+    LaunchStats stats;    ///< the running block's accounting
+    bool buffered = false;
+
+    /** Drop shadow state from the previous launch, keep capacity. */
+    void
+    resetLaunch()
+    {
+        ops.clear();
+        payload.clear();
+        txns.clear();
+    }
+};
+
+/**
+ * Persistent host worker pool dispatching block indices. Workers park
+ * on a condition variable between launches; dispatch() wakes them,
+ * participates in the claim loop itself, and returns once every block
+ * has executed. The first exception thrown by any block aborts the
+ * remaining claims and is rethrown on the calling thread.
+ */
+class BlockScheduler
+{
+  public:
+    /** @param extra_workers  Worker threads beyond the caller (>= 1). */
+    explicit BlockScheduler(unsigned extra_workers);
+    ~BlockScheduler();
+
+    BlockScheduler(const BlockScheduler &) = delete;
+    BlockScheduler &operator=(const BlockScheduler &) = delete;
+
+    /** Total lanes: the worker threads plus the calling thread. */
+    unsigned
+    lanes() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run @p fn(lane, block) for every block in [0, blocks). Lane 0 is
+     * the calling thread. Blocks are claimed dynamically; @p fn must
+     * tolerate any assignment of blocks to lanes.
+     */
+    void dispatch(std::uint32_t blocks,
+                  const std::function<void(unsigned, std::uint32_t)> &fn);
+
+  private:
+    void workerLoop(unsigned lane);
+    void claimLoop(unsigned lane);
+
+    std::mutex m_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    unsigned active_ = 0;
+
+    const std::function<void(unsigned, std::uint32_t)> *fn_ = nullptr;
+    std::uint32_t blocks_ = 0;
+    std::atomic<std::uint32_t> next_{0};
+    std::atomic<bool> abort_{false};
+    std::exception_ptr error_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace gpm

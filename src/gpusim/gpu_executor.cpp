@@ -1,22 +1,10 @@
 #include "gpusim/gpu_executor.hpp"
 
-#include <algorithm>
-#include <map>
+#include <thread>
 
 namespace gpm {
 
 // ---- ThreadCtx data path ----------------------------------------------
-
-std::uint32_t
-ThreadCtx::nextOccurrence(SiteId site)
-{
-    for (auto &[s, count] : site_counts_) {
-        if (s == site)
-            return count++;
-    }
-    site_counts_.emplace_back(site, 1);
-    return 0;
-}
 
 void
 ThreadCtx::pmWrite(std::uint64_t addr, const void *src, std::uint64_t size,
@@ -30,26 +18,57 @@ ThreadCtx::pmWriteStream(std::uint64_t stream, std::uint64_t addr,
                          const void *src, std::uint64_t size,
                          std::source_location loc)
 {
-    exec_->pool_->deviceWrite(globalId(), addr, src, size);
-    exec_->cur_.pm_payload_bytes += size;
+    ExecLane &lane = *lane_;
+    if (lane.buffered) {
+        // Shadow the store: bounds errors must surface at the faulting
+        // phase (not at replay), loads from this block must observe it
+        // (overlay), and the replay needs the payload as stored *now* —
+        // a later fence may have to drain exactly this value even if
+        // the address is overwritten afterwards.
+        exec_->pool_->requireRange(addr, size);
+        lane.ops.push_back(ShadowOp{ShadowOp::Kind::Write, globalId(),
+                                    addr, size, lane.payload.size()});
+        const auto *p = static_cast<const std::uint8_t *>(src);
+        lane.payload.insert(lane.payload.end(), p, p + size);
+        lane.overlay.apply(addr, src, size);
+    } else {
+        exec_->pool_->deviceWrite(globalId(), addr, src, size);
+    }
+    lane.stats.pm_payload_bytes += size;
     const SiteId site = siteOf(loc);
-    warp_->accesses.push_back(WarpAccess{site, nextOccurrence(site), addr,
+    warp_->accesses.push_back(WarpAccess{site, lane.sites.next(site), addr,
                                          static_cast<std::uint32_t>(size),
                                          stream});
-    exec_->noteStore(exec_->executed_);
+    if (!lane.buffered)
+        exec_->noteStore(exec_->executed_);
 }
 
 void
 ThreadCtx::pmRead(std::uint64_t addr, void *dst, std::uint64_t size)
 {
-    exec_->pool_->read(addr, dst, size);
-    exec_->cur_.pm_read_bytes += size;
+    ExecLane &lane = *lane_;
+    if (lane.buffered) {
+        exec_->pool_->requireRange(addr, size);
+        lane.overlay.read(addr, dst, size);
+    } else {
+        exec_->pool_->read(addr, dst, size);
+    }
+    lane.stats.pm_read_bytes += size;
 }
 
 bool
 ThreadCtx::threadfenceSystem()
 {
-    ++exec_->cur_.fences;
+    ExecLane &lane = *lane_;
+    ++lane.stats.fences;
+    if (lane.buffered) {
+        // persistOwner's return value depends only on the persistence
+        // domain (fixed for the launch), so the buffered fence can
+        // answer now and drain at replay.
+        lane.ops.push_back(
+            ShadowOp{ShadowOp::Kind::Fence, globalId(), 0, 0, 0});
+        return fenceIsPersist(exec_->pool_->domain());
+    }
     exec_->noteFenceBefore(exec_->executed_);
     const bool persisted = exec_->pool_->persistOwner(globalId());
     exec_->noteFenceAfter(exec_->executed_);
@@ -59,13 +78,13 @@ ThreadCtx::threadfenceSystem()
 void
 ThreadCtx::work(double ops)
 {
-    exec_->cur_.work_ops += ops;
+    lane_->stats.work_ops += ops;
 }
 
 void
 ThreadCtx::hbmTraffic(std::uint64_t bytes)
 {
-    exec_->cur_.hbm_bytes += bytes;
+    lane_->stats.hbm_bytes += bytes;
 }
 
 // ---- executor ------------------------------------------------------------
@@ -96,49 +115,151 @@ GpuExecutor::noteStore(std::uint64_t executed)
         throw KernelCrashed{executed};
 }
 
-void
-GpuExecutor::flushWarp(std::uint64_t global_warp, WarpRecorder &warp)
+unsigned
+GpuExecutor::resolvedWorkers() const
 {
-    if (warp.accesses.empty())
-        return;
+    const int w = cfg_->exec_workers;
+    if (w > 0)
+        return static_cast<unsigned>(w);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
 
-    const std::uint64_t granule = cfg_->coalesce_bytes;
+void
+GpuExecutor::runBlock(const KernelDesc &kernel, std::uint32_t block,
+                      ExecLane &lane, std::uint64_t crash_at)
+{
+    const std::uint32_t warp_size =
+        static_cast<std::uint32_t>(cfg_->warp_size);
+    const std::uint32_t warps_per_block =
+        (kernel.block_threads + warp_size - 1) / warp_size;
+    if (lane.warps.size() < warps_per_block)
+        lane.warps.resize(warps_per_block);
 
-    // Group lane accesses by (site, occurrence, stream) in
-    // first-appearance order — the SIMT instruction stream of the
-    // warp.
-    std::map<std::tuple<SiteId, std::uint32_t, std::uint64_t>,
-             std::uint32_t> group_of;
-    std::vector<std::vector<const WarpAccess *>> groups;
-    for (const WarpAccess &a : warp.accesses) {
-        auto key = std::make_tuple(a.site, a.occurrence, a.stream);
-        auto [it, inserted] = group_of.emplace(
-            key, static_cast<std::uint32_t>(groups.size()));
-        if (inserted)
-            groups.emplace_back();
-        groups[it->second].push_back(&a);
-    }
+    lane.stats = LaunchStats{};
 
-    for (const auto &group : groups) {
-        // One transaction per touched coalescing line, issued in
-        // ascending address order (lane order on real hardware).
-        const std::uint64_t stream = group.front()->stream != 0
-            ? group.front()->stream
-            : global_warp;
-        std::map<std::uint64_t, bool> lines;
-        for (const WarpAccess *a : group) {
-            const std::uint64_t first = a->addr / granule;
-            const std::uint64_t last = (a->addr + a->size - 1) / granule;
-            for (std::uint64_t l = first; l <= last; ++l)
-                lines[l] = true;
+    for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
+        for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
+            if (!lane.buffered && executed_ == crash_at)
+                throw KernelCrashed{executed_};
+            lane.sites.beginThread();
+            ThreadCtx ctx(*this, lane, lane.warps[t / warp_size], block,
+                          t, kernel.block_threads, kernel.blocks,
+                          warp_size);
+            kernel.phases[p](ctx);
+            if (!lane.buffered)
+                ++executed_;
         }
-        for (const auto &[line, unused] : lines) {
-            nvm_->recordWrite(stream, line * granule, granule);
-            ++cur_.pm_line_txns;
-            cur_.pm_line_bytes += granule;
+        // Phase boundary: retire every warp's coalesced stores. In
+        // direct mode the line transactions feed the NVM model right
+        // away; in buffered mode they stay in the lane's log for the
+        // block-ordered replay.
+        for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+            const std::size_t mark = lane.txns.size();
+            lane.flush.coalesce(cfg_->coalesce_bytes,
+                                std::uint64_t(block) * warps_per_block +
+                                    w,
+                                lane.warps[w], lane.stats, lane.txns);
+            if (!lane.buffered) {
+                for (std::size_t i = mark; i < lane.txns.size(); ++i)
+                    nvm_->recordWrite(lane.txns[i].stream,
+                                      lane.txns[i].addr,
+                                      cfg_->coalesce_bytes);
+                lane.txns.resize(mark);
+            }
         }
     }
-    warp.accesses.clear();
+}
+
+void
+GpuExecutor::launchSequential(const KernelDesc &kernel,
+                              std::uint64_t crash_at)
+{
+    ExecLane &lane = seq_lane_;
+    lane.buffered = false;
+    lane.resetLaunch();
+    // A previous crashed launch may have left stale phase accesses.
+    for (WarpRecorder &w : lane.warps)
+        w.accesses.clear();
+
+    for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
+        runBlock(kernel, b, lane, crash_at);
+        // Per-block accumulation in block order: the exact summation
+        // the parallel reduction performs, so work_ops associates
+        // identically on both paths.
+        cur_ += lane.stats;
+    }
+}
+
+void
+GpuExecutor::ensureScheduler(unsigned lanes)
+{
+    if (sched_ && sched_->lanes() != lanes)
+        sched_.reset();
+    if (!sched_)
+        sched_ = std::make_unique<BlockScheduler>(lanes - 1);
+    if (lanes_.size() != lanes)
+        lanes_.resize(lanes);
+}
+
+void
+GpuExecutor::replayBlock(const BlockSlice &slice)
+{
+    ExecLane &lane = lanes_[slice.lane];
+    for (std::size_t i = slice.ops_begin; i < slice.ops_end; ++i) {
+        const ShadowOp &op = lane.ops[i];
+        if (op.kind == ShadowOp::Kind::Write)
+            pool_->deviceWrite(op.owner, op.addr,
+                               lane.payload.data() + op.payload,
+                               op.size);
+        else
+            pool_->persistOwner(op.owner);
+    }
+    for (std::size_t i = slice.txns_begin; i < slice.txns_end; ++i)
+        nvm_->recordWrite(lane.txns[i].stream, lane.txns[i].addr,
+                          cfg_->coalesce_bytes);
+}
+
+void
+GpuExecutor::launchParallel(const KernelDesc &kernel, unsigned lanes)
+{
+    ensureScheduler(lanes);
+    for (ExecLane &lane : lanes_) {
+        lane.buffered = true;
+        lane.resetLaunch();
+        for (WarpRecorder &w : lane.warps)
+            w.accesses.clear();
+    }
+    slices_.assign(kernel.blocks, BlockSlice{});
+
+    // Workers only read the shared pool (visible image, bounds,
+    // domain); every mutation is buffered in the claiming lane. The
+    // block -> lane assignment is scheduling-dependent and irrelevant:
+    // slices_ is indexed by block.
+    sched_->dispatch(kernel.blocks,
+                     [&](unsigned lane_idx, std::uint32_t b) {
+                         ExecLane &lane = lanes_[lane_idx];
+                         lane.overlay.beginBlock(pool_);
+                         BlockSlice s;
+                         s.lane = lane_idx;
+                         s.ops_begin = lane.ops.size();
+                         s.txns_begin = lane.txns.size();
+                         runBlock(kernel, b, lane, ~std::uint64_t(0));
+                         s.ops_end = lane.ops.size();
+                         s.txns_end = lane.txns.size();
+                         s.stats = lane.stats;
+                         slices_[b] = s;
+                     });
+
+    // Deterministic block-ordered reduction: replaying block b's ops
+    // contiguously is exactly what the sequential executor does (it
+    // runs blocks whole-block-at-a-time), so pending-extent order,
+    // crash RNG enumeration, NVM run formation and the stats sums are
+    // all bit-identical to workers=1.
+    for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
+        replayBlock(slices_[b]);
+        cur_ += slices_[b].stats;
+    }
 }
 
 LaunchStats
@@ -154,12 +275,6 @@ GpuExecutor::launch(const KernelDesc &kernel)
     cur_.threads = kernel.totalThreads();
     cur_.phases = kernel.phases.size();
 
-    const std::uint32_t warp_size =
-        static_cast<std::uint32_t>(cfg_->warp_size);
-    const std::uint32_t warps_per_block =
-        (kernel.block_threads + warp_size - 1) / warp_size;
-    std::vector<WarpRecorder> warps(warps_per_block);
-
     const NvmTierBytes before = [&] {
         nvm_->closeRuns();
         return nvm_->bytes();
@@ -174,24 +289,14 @@ GpuExecutor::launch(const KernelDesc &kernel)
             ? armed_->count
             : ~std::uint64_t(0);
 
-    for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
-        for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
-            for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
-                if (executed_ == crash_at)
-                    throw KernelCrashed{executed_};
-                ThreadCtx ctx(*this, warps[t / warp_size], b, t,
-                              kernel.block_threads, kernel.blocks,
-                              warp_size);
-                kernel.phases[p](ctx);
-                ++executed_;
-            }
-            // Phase boundary: retire every warp's coalesced stores.
-            for (std::uint32_t w = 0; w < warps_per_block; ++w) {
-                flushWarp(std::uint64_t(b) * warps_per_block + w,
-                          warps[w]);
-            }
-        }
-    }
+    // Crash-armed launches always take the sequential path: CrashPoint
+    // ordinals are defined over the block-sequential event order.
+    const unsigned lanes = resolvedWorkers();
+    if (kernel.block_independent && !kernel.crash && kernel.blocks > 1 &&
+        lanes > 1)
+        launchParallel(kernel, lanes);
+    else
+        launchSequential(kernel, crash_at);
 
     armed_.reset();
     nvm_->closeRuns();

@@ -2,75 +2,39 @@
  * @file
  * Functional SIMT executor with warp-level write coalescing.
  *
- * Blocks execute in sequence and, within a block, each phase runs for
- * every thread before the next phase starts (the __syncthreads model,
- * see kernel.hpp). PM stores are buffered per warp during a phase and
- * coalesced at the phase boundary: all lane accesses sharing a (call
- * site, occurrence) are merged into one transaction per touched 128 B
- * line — the GPU hardware coalescer HCL leans on (section 5.2). The
- * resulting transaction stream feeds the Optane model keyed by warp,
- * so per-warp contiguity (or its absence) determines the media tier.
+ * Within a block, each phase runs for every thread before the next
+ * phase starts (the __syncthreads model, see kernel.hpp). PM stores
+ * are buffered per warp during a phase and coalesced at the phase
+ * boundary: all lane accesses sharing a (call site, occurrence) are
+ * merged into one transaction per touched 128 B line — the GPU
+ * hardware coalescer HCL leans on (section 5.2). The resulting
+ * transaction stream feeds the Optane model keyed by warp, so
+ * per-warp contiguity (or its absence) determines the media tier.
+ *
+ * Blocks execute in sequence by default. Launches whose KernelDesc
+ * sets block_independent (and carries no CrashPoint) may instead be
+ * fanned out across the persistent host worker pool in
+ * block_scheduler.hpp: each worker records a buffered shadow log, and
+ * a block-ordered reduction replays the logs into the shared pool and
+ * NVM model so every observable is bit-identical to the sequential
+ * order. SimConfig::exec_workers selects the width; 1 (the default)
+ * keeps the reference sequential path.
  */
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
+#include "gpusim/block_scheduler.hpp"
 #include "gpusim/kernel.hpp"
+#include "gpusim/launch_stats.hpp"
 #include "gpusim/thread_ctx.hpp"
 #include "memsim/nvm_model.hpp"
 #include "memsim/sim_config.hpp"
 #include "pmem/pm_pool.hpp"
 
 namespace gpm {
-
-/** Aggregate accounting for one kernel launch. */
-struct LaunchStats {
-    std::uint64_t blocks = 0;
-    std::uint64_t threads = 0;
-    std::uint64_t phases = 0;
-
-    double work_ops = 0;             ///< abstract ALU work (ctx.work)
-    std::uint64_t hbm_bytes = 0;     ///< device-memory traffic
-
-    std::uint64_t pm_payload_bytes = 0;  ///< bytes the program stored to PM
-    std::uint64_t pm_line_txns = 0;  ///< coalesced 128 B write transactions
-    std::uint64_t pm_line_bytes = 0; ///< pm_line_txns * coalesce granule
-    std::uint64_t pm_read_bytes = 0; ///< PM load payload
-
-    std::uint64_t fences = 0;        ///< system-scope fences executed
-    NvmTierBytes nvm;                ///< classified NVM write bytes
-
-    LaunchStats &
-    operator+=(const LaunchStats &o)
-    {
-        blocks += o.blocks;
-        threads += o.threads;
-        phases += o.phases;
-        work_ops += o.work_ops;
-        hbm_bytes += o.hbm_bytes;
-        pm_payload_bytes += o.pm_payload_bytes;
-        pm_line_txns += o.pm_line_txns;
-        pm_line_bytes += o.pm_line_bytes;
-        pm_read_bytes += o.pm_read_bytes;
-        fences += o.fences;
-        nvm += o.nvm;
-        return *this;
-    }
-};
-
-/** One raw PM store recorded by a thread before coalescing. */
-struct WarpAccess {
-    SiteId site;
-    std::uint32_t occurrence;
-    std::uint64_t addr;
-    std::uint32_t size;
-    std::uint64_t stream = 0;  ///< media-stream override (0 = warp)
-};
-
-/** Per-warp access buffer for the running phase. */
-struct WarpRecorder {
-    std::vector<WarpAccess> accesses;
-};
 
 /** The simulated GPU: executes kernels and accounts their traffic. */
 class GpuExecutor
@@ -98,17 +62,41 @@ class GpuExecutor
     const SimConfig &config() const { return *cfg_; }
     PmPool &pool() { return *pool_; }
 
+    /**
+     * Lanes a parallel-eligible launch would use: exec_workers, with 0
+     * meaning one lane per hardware thread and anything below 1 lane
+     * clamped to sequential.
+     */
+    unsigned resolvedWorkers() const;
+
   private:
     friend class ThreadCtx;
 
-    /** Coalesce and retire one warp's phase accesses. */
-    void flushWarp(std::uint64_t global_warp, WarpRecorder &warp);
+    /**
+     * Execute one block (every phase, every thread) into @p lane. In
+     * direct mode (lane.buffered == false) PM stores and NVM line
+     * transactions retire immediately and crash triggers are armed;
+     * in buffered mode everything lands in the lane's shadow log.
+     * Either way lane.stats holds the block's accounting afterwards.
+     */
+    void runBlock(const KernelDesc &kernel, std::uint32_t block,
+                  ExecLane &lane, std::uint64_t crash_at);
+
+    void launchSequential(const KernelDesc &kernel,
+                          std::uint64_t crash_at);
+    void launchParallel(const KernelDesc &kernel, unsigned lanes);
+
+    /** Replay one block's shadow log into the shared pool/NVM model. */
+    void replayBlock(const BlockSlice &slice);
+
+    void ensureScheduler(unsigned lanes);
 
     /**
      * Crash-trigger bookkeeping, called from the ThreadCtx data path.
      * Event counters are per launch and 1-based, so e.g.
      * CrashPoint::beforeFence(1) dies before the first fence of the
-     * launch ever persists anything.
+     * launch ever persists anything. Crash-armed launches always run
+     * sequentially, so the ordinals keep their global meaning.
      */
     void noteFenceBefore(std::uint64_t executed);
     void noteFenceAfter(std::uint64_t executed);
@@ -123,6 +111,11 @@ class GpuExecutor
     std::uint64_t executed_ = 0;       ///< (thread, phase) executions so far
     std::uint64_t fence_count_ = 0;    ///< fences started this launch
     std::uint64_t store_count_ = 0;    ///< PM stores retired this launch
+
+    ExecLane seq_lane_;                ///< sequential-path scratch
+    std::unique_ptr<BlockScheduler> sched_;  ///< lazily created pool
+    std::vector<ExecLane> lanes_;      ///< parallel lanes (0 = caller)
+    std::vector<BlockSlice> slices_;   ///< per-block logs of a launch
 };
 
 } // namespace gpm

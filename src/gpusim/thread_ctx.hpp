@@ -23,15 +23,13 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "gpusim/launch_stats.hpp"
 #include "pmem/pm_pool.hpp"
 
 namespace gpm {
 
 class GpuExecutor;
-struct WarpRecorder;
-
-/** Stable identifier of a static memory-access site. */
-using SiteId = std::uint64_t;
+struct ExecLane;
 
 /** Derive a SiteId from a source location (file pointer + line + col). */
 inline SiteId
@@ -136,27 +134,28 @@ class ThreadCtx
   private:
     friend class GpuExecutor;
 
-    ThreadCtx(GpuExecutor &exec, WarpRecorder &warp, std::uint32_t block,
-              std::uint32_t thread, std::uint32_t block_dim,
-              std::uint32_t grid_dim, std::uint32_t warp_size)
-        : exec_(&exec), warp_(&warp), block_(block), thread_(thread),
-          block_dim_(block_dim), grid_dim_(grid_dim),
+    ThreadCtx(GpuExecutor &exec, ExecLane &lane, WarpRecorder &warp,
+              std::uint32_t block, std::uint32_t thread,
+              std::uint32_t block_dim, std::uint32_t grid_dim,
+              std::uint32_t warp_size)
+        : exec_(&exec), lane_(&lane), warp_(&warp), block_(block),
+          thread_(thread), block_dim_(block_dim), grid_dim_(grid_dim),
           warp_size_(warp_size)
     {
     }
 
-    /** Per-thread occurrence counter for one access site. */
-    std::uint32_t nextOccurrence(SiteId site);
-
     GpuExecutor *exec_;
+    // The executing lane: per-block stats, the O(1) site-occurrence
+    // table (the caller begins a fresh thread epoch before each phase
+    // invocation), and — on parallel launches — the buffered shadow
+    // log this thread's PM traffic records into.
+    ExecLane *lane_;
     WarpRecorder *warp_;
     std::uint32_t block_;
     std::uint32_t thread_;
     std::uint32_t block_dim_;
     std::uint32_t grid_dim_;
     std::uint32_t warp_size_;
-    // Small flat map: kernels touch only a handful of PM sites.
-    std::vector<std::pair<SiteId, std::uint32_t>> site_counts_;
 };
 
 } // namespace gpm

@@ -1,5 +1,7 @@
 #include "harness/experiments.hpp"
 
+#include <cstdlib>
+
 #include "workloads/iterative.hpp"
 
 namespace gpm::bench {
@@ -149,6 +151,19 @@ std::size_t
 pmCapacity()
 {
     return 192_MiB;
+}
+
+SimConfig
+benchConfig()
+{
+    SimConfig cfg;
+    if (const char *env = std::getenv("GPM_EXEC_WORKERS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 0 && v <= 1024)
+            cfg.exec_workers = static_cast<int>(v);
+    }
+    return cfg;
 }
 
 WorkloadResult

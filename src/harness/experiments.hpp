@@ -87,6 +87,16 @@ CpuKvsParams cpuKvsParams();
 std::size_t pmCapacity();
 
 /**
+ * Canonical SimConfig for bench drivers: testbed defaults with the
+ * executor worker count taken from the GPM_EXEC_WORKERS environment
+ * variable (unset or invalid -> 1, the sequential reference; 0 ->
+ * one worker per hardware thread). Worker count never changes any
+ * modelled result — only host wall-clock — so reading it from the
+ * environment is safe for every driver.
+ */
+SimConfig benchConfig();
+
+/**
  * Execute one (workload, platform) cell with the canonical params.
  * Unsupported combinations (GPUfs x fine-grain) come back with
  * supported == false.

@@ -67,6 +67,9 @@ struct NvmTierBytes {
         random += o.random;
         return *this;
     }
+
+    /** Per-tier equality (the determinism suite's comparison). */
+    bool operator==(const NvmTierBytes &o) const = default;
 };
 
 /**

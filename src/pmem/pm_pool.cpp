@@ -8,7 +8,7 @@ namespace gpm {
 
 PmPool::PmPool(std::size_t capacity, PersistDomain domain,
                std::uint64_t seed)
-    : visible_(capacity, 0), durable_(capacity, 0), domain_(domain),
+    : visible_(capacity), durable_(capacity), domain_(domain),
       rng_(seed)
 {
     GPM_REQUIRE(capacity > 0, "PM pool capacity must be non-zero");
@@ -69,7 +69,29 @@ PmPool::writeCommon(OwnerId owner, std::uint64_t addr, const void *src,
         // eADR: the LLC is inside the persistence domain.
         std::memcpy(durable_.data() + addr, src, size);
     } else {
-        pending_[owner].push_back({addr, size});
+        std::vector<Extent> &pend = pending_[owner];
+        if (!pend.empty()) {
+            // Coalesce with the owner's most recent extent when the
+            // new store abuts or overlaps it: a contiguous append
+            // stream (or a rewritten word) stays one extent, so
+            // persistOwner/crash scale with distinct dirty ranges,
+            // not raw store count. Only the *last* extent is eligible
+            // — insertion order is preserved, so crash()'s per-line
+            // RNG enumeration is unchanged for non-contiguous
+            // streams.
+            Extent &last = pend.back();
+            if (addr <= last.addr + last.size &&
+                addr + size >= last.addr) {
+                const std::uint64_t lo = std::min(last.addr, addr);
+                const std::uint64_t hi =
+                    std::max(last.addr + last.size, addr + size);
+                last.addr = lo;
+                last.size = hi - lo;
+                ++stats_.extents_merged;
+                return;
+            }
+        }
+        pend.push_back({addr, size});
     }
 }
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -42,6 +43,71 @@
 #include "memsim/sim_config.hpp"
 
 namespace gpm {
+
+/**
+ * Zero-initialized byte image backed by calloc.
+ *
+ * Pools are allocated at full testbed capacity (hundreds of MB) per
+ * Machine but most workloads touch a fraction of it; calloc leaves
+ * untouched pages mapped to the kernel zero page, so construction is
+ * O(1) in faulted memory where the previous std::vector(capacity, 0)
+ * paid a memset over every page. Copy assignment (the crash-time
+ * visible = durable reset) still touches everything, as it must.
+ */
+class PmImage
+{
+  public:
+    explicit PmImage(std::size_t n)
+        : data_(static_cast<std::uint8_t *>(std::calloc(n ? n : 1, 1))),
+          size_(n)
+    {
+        GPM_REQUIRE(data_ != nullptr, "PM image allocation of ", n,
+                    " bytes failed");
+    }
+
+    PmImage(const PmImage &o) : PmImage(o.size_)
+    {
+        std::memcpy(data_, o.data_, size_);
+    }
+
+    PmImage(PmImage &&o) noexcept : data_(o.data_), size_(o.size_)
+    {
+        o.data_ = nullptr;
+        o.size_ = 0;
+    }
+
+    PmImage &
+    operator=(const PmImage &o)
+    {
+        if (this != &o) {
+            if (size_ != o.size_) {
+                PmImage fresh(o.size_);
+                std::swap(data_, fresh.data_);
+                std::swap(size_, fresh.size_);
+            }
+            std::memcpy(data_, o.data_, size_);
+        }
+        return *this;
+    }
+
+    PmImage &
+    operator=(PmImage &&o) noexcept
+    {
+        std::swap(data_, o.data_);
+        std::swap(size_, o.size_);
+        return *this;
+    }
+
+    ~PmImage() { std::free(data_); }
+
+    std::uint8_t *data() { return data_; }
+    const std::uint8_t *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+  private:
+    std::uint8_t *data_;
+    std::size_t size_;
+};
 
 /** Identity of a writer for fence scoping (GPU thread / CPU thread). */
 using OwnerId = std::uint64_t;
@@ -66,6 +132,8 @@ struct PmPoolStats {
     std::uint64_t extents_drained = 0;   ///< extents copied to durable
     std::uint64_t crash_sub_extents = 0; ///< 128 B lines rolled at crash
     std::uint64_t crash_survivors = 0;   ///< lines that won the roll
+    std::uint64_t extents_merged = 0;    ///< appends coalesced into the
+                                         ///< owner's previous extent
 };
 
 /** Simulated byte-addressable persistent memory with crash semantics. */
@@ -117,6 +185,16 @@ class PmPool
 
     /** Load from the visible image. */
     void read(std::uint64_t addr, void *dst, std::uint64_t size) const;
+
+    /** Validate [addr, addr+size) against the pool bounds (fatal on
+     *  violation) without touching data. The parallel executor's
+     *  buffered stores check bounds at execution time so errors
+     *  surface at the faulting phase, not at replay. */
+    void
+    requireRange(std::uint64_t addr, std::uint64_t size) const
+    {
+        checkRange(addr, size);
+    }
 
     /** Typed convenience load from the visible image. */
     template <typename T>
@@ -182,7 +260,10 @@ class PmPool
     /** Number of pending (visible but not durable) extents. */
     std::size_t pendingExtents() const;
 
-    /** Pending bytes (sum of extent sizes; overlaps counted twice). */
+    /** Pending bytes (sum of extent sizes). Stores that abut or
+     *  overlap the owner's most recent extent coalesce on append, so
+     *  a contiguous or repeatedly-rewritten stream never
+     *  double-counts; only a re-touch of an *older* extent still can. */
     std::uint64_t pendingBytes() const;
 
     /** Lifetime crash/persist counters (see PmPoolStats). */
@@ -227,8 +308,8 @@ class PmPool
                      std::uint64_t size);
     void drain(const Extent &e);
 
-    std::vector<std::uint8_t> visible_;
-    std::vector<std::uint8_t> durable_;
+    PmImage visible_;
+    PmImage durable_;
     // std::map for deterministic crash-survival iteration order.
     std::map<OwnerId, std::vector<Extent>> pending_;
     std::map<std::string, PmRegion> regions_;

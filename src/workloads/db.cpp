@@ -169,6 +169,9 @@ GpDb::runInsertGpm(std::uint32_t batch, bool ndp)
     const std::uint32_t tpb = 256;
     KernelDesc k;
     k.name = "gpdb_insert";
+    // Each thread writes its own fresh row (makeRow is pure): blocks
+    // never share PM or host state within the launch.
+    k.block_independent = true;
     k.blocks = static_cast<std::uint32_t>(ceilDiv(p_.insert_rows, tpb));
     k.block_threads = tpb;
     k.phases.push_back([this, old_count, batch, ndp](ThreadCtx &ctx) {
@@ -267,6 +270,7 @@ GpDb::runInsertCap(std::uint32_t batch)
     const std::uint32_t tpb = 256;
     KernelDesc k;
     k.name = "gpdb_insert_volatile";
+    k.block_independent = true;
     k.blocks = static_cast<std::uint32_t>(ceilDiv(p_.insert_rows, tpb));
     k.block_threads = tpb;
     std::vector<DbRow> rows(p_.insert_rows);

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -98,7 +99,10 @@ class GpPrefixSum
     PmRegion psums_;  ///< u64 per thread (partial sums)
     PmRegion out_;    ///< u64 per element (final prefix)
     std::vector<std::uint32_t> input_;  ///< HBM-resident input
-    std::uint64_t blocks_skipped_ = 0;
+    // Atomic: thread 0 of every block bumps it, and the partial-sums
+    // kernel is block_independent, so blocks may run on different
+    // host workers.
+    std::atomic<std::uint64_t> blocks_skipped_{0};
 };
 
 } // namespace gpm

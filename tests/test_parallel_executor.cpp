@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Equivalence suite for the parallel block-scheduled executor.
+ *
+ * The contract under test: for a block_independent kernel, a launch
+ * fanned out across N host workers is observationally *bit-identical*
+ * to the sequential reference — same LaunchStats (including the FP
+ * work_ops sum and the NVM tier classification), byte-identical
+ * visible and durable images, identical pending-extent accounting,
+ * and identical crash-time RNG consumption (verified by crashing the
+ * pool after the launch and comparing the resulting durable images).
+ *
+ * Checks that run inside kernel phases use atomic counters rather
+ * than gtest assertions: phases execute on scheduler worker threads,
+ * where EXPECT_* is not safe.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gpusim/gpu_executor.hpp"
+#include "gpusim/kernel.hpp"
+#include "harness/experiments.hpp"
+#include "memsim/nvm_model.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+namespace {
+
+constexpr std::size_t kCap = 1_MiB;
+
+/** Everything observable about a (launch, optional crash) episode. */
+struct Snapshot {
+    LaunchStats stats;
+    std::vector<std::uint8_t> visible;
+    std::vector<std::uint8_t> durable;
+    std::size_t pending_extents = 0;
+    std::uint64_t pending_bytes = 0;
+    std::uint64_t extents_merged = 0;
+    std::vector<std::uint8_t> post_crash_durable;
+
+    bool
+    operator==(const Snapshot &o) const = default;
+};
+
+/**
+ * Build a fresh machine with @p workers lanes, run the kernel that
+ * @p make fills in, and capture every observable. The pool is then
+ * crashed (survive_prob 0.5, fixed seed) so the per-line RNG
+ * enumeration order of pending extents becomes visible in the final
+ * durable image.
+ */
+Snapshot
+runWith(int workers, PersistDomain domain,
+        const std::function<void(KernelDesc &)> &make)
+{
+    SimConfig cfg;
+    cfg.exec_workers = workers;
+    PmPool pool(kCap, domain, /*seed=*/7);
+    NvmModel nvm(cfg);
+    GpuExecutor gpu(cfg, pool, nvm);
+
+    KernelDesc k;
+    make(k);
+
+    Snapshot s;
+    s.stats = gpu.launch(k);
+    s.visible.assign(pool.visible(), pool.visible() + kCap);
+    s.durable.assign(pool.durable(), pool.durable() + kCap);
+    s.pending_extents = pool.pendingExtents();
+    s.pending_bytes = pool.pendingBytes();
+    s.extents_merged = pool.stats().extents_merged;
+    pool.crash(/*survive_prob=*/0.5);
+    s.post_crash_durable.assign(pool.durable(), pool.durable() + kCap);
+    return s;
+}
+
+constexpr PersistDomain kDomains[] = {
+    PersistDomain::McDurable,
+    PersistDomain::LlcVolatile,
+    PersistDomain::LlcDurable,
+};
+
+constexpr int kWorkerCounts[] = {2, 4, 8};
+
+/** Mix a few ints into a deterministic pseudo-random 64-bit value. */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t h = a * 0x9e3779b97f4a7c15ull + b;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 32;
+    return h + c;
+}
+
+TEST(ParallelExecutor, MixedTrafficMatchesSequential)
+{
+    // Multiple call sites, loop occurrences, a shared-stream append,
+    // fences mid-kernel, RAW readbacks, and stores left pending at
+    // launch end — the full data path, per domain and worker count.
+    std::atomic<std::uint64_t> raw_errors{0};
+    std::atomic<std::uint64_t> fence_persisted{0};
+    auto make = [&](KernelDesc &k) {
+        k.name = "mixed";
+        k.blocks = 7;
+        k.block_threads = 96;
+        k.block_independent = true;
+        k.phases.push_back([&](ThreadCtx &ctx) {
+            const std::uint64_t base = ctx.globalId() * 96;
+            ctx.pmStore(base, ctx.globalId());
+            for (std::uint32_t i = 0; i < 4; ++i)
+                ctx.pmStore(base + 8 + i * 8,
+                            mix(ctx.globalId(), i, 1));
+            // Shared tail stream (conventional-log pattern).
+            const std::uint64_t rec = ~ctx.globalId();
+            ctx.pmWriteStream(1ull << 50,
+                              768 * 1024 + ctx.globalId() * 8, &rec, 8);
+            ctx.work(1.25);
+            ctx.hbmTraffic(48);
+        });
+        k.phases.push_back([&](ThreadCtx &ctx) {
+            const std::uint64_t base = ctx.globalId() * 96;
+            if (ctx.pmLoad<std::uint64_t>(base) != ctx.globalId())
+                ++raw_errors;
+            if (ctx.pmLoad<std::uint64_t>(base + 8 + 2 * 8) !=
+                mix(ctx.globalId(), 2, 1))
+                ++raw_errors;
+            if (ctx.threadfenceSystem())
+                ++fence_persisted;
+            // Left pending (no fence follows) under McDurable.
+            ctx.pmStore(base + 48, ctx.globalId() + 1);
+        });
+    };
+
+    for (const PersistDomain domain : kDomains) {
+        raw_errors = 0;
+        const Snapshot ref = runWith(1, domain, make);
+        EXPECT_EQ(raw_errors, 0u);
+        for (const int workers : kWorkerCounts) {
+            raw_errors = 0;
+            const Snapshot got = runWith(workers, domain, make);
+            EXPECT_EQ(raw_errors, 0u)
+                << "RAW readback failed at " << workers << " workers";
+            EXPECT_TRUE(got == ref)
+                << "divergence at " << workers << " workers, domain "
+                << static_cast<int>(domain);
+        }
+    }
+}
+
+TEST(ParallelExecutor, RandomGeometriesMatchSequential)
+{
+    // Random grid shapes and per-thread store patterns; every thread
+    // owns a disjoint region so blocks are genuinely independent.
+    Rng rng(2026);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto blocks =
+            static_cast<std::uint32_t>(rng.between(1, 17));
+        constexpr std::uint32_t kTpb[] = {32, 64, 96, 128, 256};
+        const std::uint32_t tpb = kTpb[rng.below(5)];
+        const auto phases = static_cast<int>(rng.between(1, 3));
+        const std::uint64_t salt = rng.next();
+        const std::uint64_t stride =
+            (kCap - 4096) / (std::uint64_t(blocks) * tpb);
+
+        auto make = [&](KernelDesc &k) {
+            k.name = "random-geometry";
+            k.blocks = blocks;
+            k.block_threads = tpb;
+            k.block_independent = true;
+            for (int p = 0; p < phases; ++p) {
+                k.phases.push_back([&, p](ThreadCtx &ctx) {
+                    const std::uint64_t base = ctx.globalId() * stride;
+                    const std::uint64_t n =
+                        1 + mix(salt, ctx.globalId(), p) % 5;
+                    for (std::uint64_t i = 0; i < n; ++i) {
+                        const std::uint64_t off =
+                            mix(salt, ctx.globalId() * 31 + p, i) %
+                            (stride - 8);
+                        ctx.pmStore(base + off,
+                                    mix(salt, ctx.globalId(), i));
+                    }
+                    if (mix(salt, p, ctx.globalId()) % 3 == 0)
+                        ctx.threadfenceSystem();
+                    ctx.work(0.5 + p);
+                });
+            }
+        };
+
+        const Snapshot ref = runWith(1, PersistDomain::McDurable, make);
+        const Snapshot got = runWith(8, PersistDomain::McDurable, make);
+        EXPECT_TRUE(got == ref)
+            << "trial " << trial << ": " << blocks << "x" << tpb << "x"
+            << phases;
+    }
+}
+
+TEST(ParallelExecutor, ParallelRunsAreDeterministic)
+{
+    // Two parallel runs at the same width must agree with each other
+    // (no dependence on OS scheduling of the worker pool).
+    auto make = [](KernelDesc &k) {
+        k.name = "repeat";
+        k.blocks = 13;
+        k.block_threads = 128;
+        k.block_independent = true;
+        k.phases.push_back([](ThreadCtx &ctx) {
+            const std::uint64_t base = ctx.globalId() * 32;
+            ctx.pmStore(base, mix(3, ctx.globalId(), 0));
+            ctx.pmStore(base + 8, mix(3, ctx.globalId(), 1));
+            ctx.work(2.0);
+            if (ctx.globalId() % 2 == 0)
+                ctx.threadfenceSystem();
+        });
+    };
+    const Snapshot a = runWith(4, PersistDomain::McDurable, make);
+    const Snapshot b = runWith(4, PersistDomain::McDurable, make);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(ParallelExecutor, CrashArmedLaunchFallsBackToSequential)
+{
+    // A crash-armed launch must run sequentially even when the kernel
+    // is block_independent and workers are available, so CrashPoint
+    // ordinals keep their global (block-ordered) meaning.
+    auto run = [](int workers) {
+        SimConfig cfg;
+        cfg.exec_workers = workers;
+        PmPool pool(kCap, PersistDomain::McDurable, 7);
+        NvmModel nvm(cfg);
+        GpuExecutor gpu(cfg, pool, nvm);
+
+        KernelDesc k;
+        k.name = "crash-armed";
+        k.blocks = 6;
+        k.block_threads = 64;
+        k.block_independent = true;
+        k.phases.push_back([](ThreadCtx &ctx) {
+            ctx.pmStore(ctx.globalId() * 8, ctx.globalId());
+            ctx.threadfenceSystem();
+        });
+        k.crash = CrashPoint{200};
+        std::uint64_t fired_at = ~0ull;
+        try {
+            gpu.launch(k);
+        } catch (const KernelCrashed &c) {
+            fired_at = c.executed_thread_phases;
+        }
+        pool.crash(0.5);
+        return std::pair{fired_at, std::vector<std::uint8_t>(
+                                       pool.durable(),
+                                       pool.durable() + kCap)};
+    };
+    const auto [seq_at, seq_img] = run(1);
+    const auto [par_at, par_img] = run(8);
+    EXPECT_EQ(seq_at, 200u);
+    EXPECT_EQ(par_at, 200u);
+    EXPECT_EQ(seq_img, par_img);
+}
+
+TEST(ParallelExecutor, DependentKernelsStaySequential)
+{
+    // Without the block_independent marking, cross-block dependences
+    // must keep working at any configured width: block b reads what
+    // block b-1 wrote (legal only under in-order block execution).
+    SimConfig cfg;
+    cfg.exec_workers = 8;
+    PmPool pool(kCap, PersistDomain::McDurable, 7);
+    NvmModel nvm(cfg);
+    GpuExecutor gpu(cfg, pool, nvm);
+
+    std::atomic<std::uint64_t> chain_errors{0};
+    KernelDesc k;
+    k.name = "chained";
+    k.blocks = 8;
+    k.block_threads = 32;
+    k.phases.push_back([&](ThreadCtx &ctx) {
+        if (ctx.threadIdx() != 0)
+            return;
+        const std::uint64_t prev =
+            ctx.blockIdx() == 0
+                ? 0
+                : ctx.pmLoad<std::uint64_t>((ctx.blockIdx() - 1) * 8);
+        if (prev != std::uint64_t(ctx.blockIdx()))
+            ++chain_errors;
+        ctx.pmStore(std::uint64_t(ctx.blockIdx()) * 8,
+                    std::uint64_t(ctx.blockIdx()) + 1);
+    });
+    gpu.launch(k);
+    EXPECT_EQ(chain_errors, 0u);
+}
+
+TEST(ParallelExecutor, ResolvedWorkersFollowsConfig)
+{
+    PmPool pool(kCap, PersistDomain::McDurable);
+    SimConfig one;
+    NvmModel nvm1(one);
+    EXPECT_EQ(GpuExecutor(one, pool, nvm1).resolvedWorkers(), 1u);
+
+    SimConfig four;
+    four.exec_workers = 4;
+    NvmModel nvm4(four);
+    EXPECT_EQ(GpuExecutor(four, pool, nvm4).resolvedWorkers(), 4u);
+
+    SimConfig hw;
+    hw.exec_workers = 0;
+    NvmModel nvmh(hw);
+    EXPECT_GE(GpuExecutor(hw, pool, nvmh).resolvedWorkers(), 1u);
+}
+
+TEST(ParallelExecutor, WorkloadResultsMatchSequential)
+{
+    // End-to-end: canonical Fig 9 cells whose kernels carry the
+    // block_independent marking must report bit-identical results at
+    // any worker width (the modelled numbers never depend on the host
+    // execution strategy).
+    for (const bench::Bench b :
+         {bench::Bench::PrefixSum, bench::Bench::Srad}) {
+        SimConfig seq;
+        seq.exec_workers = 1;
+        const WorkloadResult r1 =
+            bench::runBench(b, PlatformKind::Gpm, seq);
+
+        SimConfig par;
+        par.exec_workers = 8;
+        const WorkloadResult r8 =
+            bench::runBench(b, PlatformKind::Gpm, par);
+
+        EXPECT_TRUE(r1.verified);
+        EXPECT_TRUE(r8.verified);
+        EXPECT_EQ(r1.op_ns, r8.op_ns) << bench::benchName(b);
+        EXPECT_EQ(r1.persist_ns, r8.persist_ns);
+        EXPECT_EQ(r1.recovery_ns, r8.recovery_ns);
+        EXPECT_EQ(r1.persisted_payload, r8.persisted_payload);
+        EXPECT_EQ(r1.pcie_write_bytes, r8.pcie_write_bytes);
+        EXPECT_DOUBLE_EQ(r1.ops_done, r8.ops_done);
+    }
+}
+
+} // namespace
+} // namespace gpm

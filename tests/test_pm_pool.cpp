@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "pmem/pm_pool.hpp"
 
@@ -181,6 +182,75 @@ TEST(PmPool, SaveAndLoadDurableRoundTrip)
     const PmRegion more = loaded.map("more", 256, true);
     EXPECT_GE(more.offset, data.offset + data.size);
     std::remove(path);
+}
+
+TEST(PmPool, ContiguousAppendsCoalesceIntoOneExtent)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t v = 1;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        pool.deviceWrite(0, i * 8, &v, 8);
+    // An append stream is one pending extent, not sixteen.
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+    EXPECT_EQ(pool.pendingBytes(), 128u);
+    EXPECT_EQ(pool.stats().extents_merged, 15u);
+}
+
+TEST(PmPool, RewritesDoNotDoubleCountPendingBytes)
+{
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t v = 2;
+    for (int i = 0; i < 10; ++i)
+        pool.deviceWrite(0, 64, &v, 8);
+    // Rewriting the same word overlaps the owner's last extent; the
+    // dirty range stays 8 bytes.
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+    EXPECT_EQ(pool.pendingBytes(), 8u);
+
+    // Overlapping-but-growing writes track the union of the range.
+    pool.deviceWrite(0, 60, &v, 8);   // extends left
+    pool.deviceWrite(0, 68, &v, 8);   // extends right
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+    EXPECT_EQ(pool.pendingBytes(), 16u);
+}
+
+TEST(PmPool, OnlyLastExtentIsMergeEligible)
+{
+    // Touching an *older* extent again does not merge (insertion
+    // order — hence crash-time line enumeration — is preserved), so
+    // the two extents persist and drain independently.
+    PmPool pool(4096, PersistDomain::McDurable);
+    const std::uint64_t v = 3;
+    pool.deviceWrite(0, 0, &v, 8);     // extent A
+    pool.deviceWrite(0, 1024, &v, 8);  // extent B (not adjacent)
+    pool.deviceWrite(0, 8, &v, 8);     // abuts A, but A is not last
+    EXPECT_EQ(pool.pendingExtents(), 3u);
+    EXPECT_EQ(pool.pendingBytes(), 24u);
+    EXPECT_EQ(pool.stats().extents_merged, 0u);
+    EXPECT_TRUE(pool.persistOwner(0));
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(8), 3u);
+}
+
+TEST(PmPool, MergedExtentsPersistAndCrashCorrectly)
+{
+    PmPool a(4096, PersistDomain::McDurable, 11);
+    PmPool b(4096, PersistDomain::McDurable, 11);
+    // Same bytes, written as one contiguous stream (merges in `a`)
+    // vs. strided then back-filled (no merges in `b`).
+    std::uint8_t buf[32];
+    for (int i = 0; i < 32; ++i)
+        buf[i] = static_cast<std::uint8_t>(i + 1);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        a.deviceWrite(0, i * 32, buf, 32);
+    for (std::uint64_t i = 0; i < 8; i += 2)
+        b.deviceWrite(0, i * 32, buf, 32);
+    for (std::uint64_t i = 1; i < 8; i += 2)
+        b.deviceWrite(0, i * 32, buf, 32);
+    EXPECT_GT(a.stats().extents_merged, 0u);
+    EXPECT_EQ(a.pendingBytes(), b.pendingBytes());
+    a.persistOwner(0);
+    b.persistOwner(0);
+    EXPECT_EQ(std::memcmp(a.durable(), b.durable(), 4096), 0);
 }
 
 TEST(PmPool, DomainSwitchMidstream)

@@ -6,13 +6,17 @@
  * the canonical (paper-scaled) configuration and prints the measured
  * simulated time, throughput, persisted payload and PM traffic:
  *
- *     gpmbench list
- *     gpmbench run <workload> <platform> [seed]
- *     gpmbench crash <workload> [seed]      # GPM crash + recovery
- *     gpmbench matrix                        # the full Fig 9 grid
+ *     gpmbench [--jobs N] list
+ *     gpmbench [--jobs N] run <workload> <platform> [seed]
+ *     gpmbench [--jobs N] crash <workload> [seed]  # crash + recovery
+ *     gpmbench [--jobs N] matrix             # the full Fig 9 grid
  *
  * Workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps
  * Platforms: gpm ndp eadr capfs capmm capeadr gpufs
+ *
+ * --jobs N sets SimConfig::exec_workers (0 = one per hardware
+ * thread); results are bit-identical at any width, only wall-clock
+ * changes. Defaults to the GPM_EXEC_WORKERS environment variable.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -98,12 +102,14 @@ usage()
 {
     std::printf(
         "gpmbench — GPMbench driver (simulated GPM system)\n\n"
-        "  gpmbench list\n"
-        "  gpmbench run <workload> <platform> [seed]\n"
-        "  gpmbench crash <workload> [seed]\n"
-        "  gpmbench matrix\n\n"
+        "  gpmbench [--jobs N] list\n"
+        "  gpmbench [--jobs N] run <workload> <platform> [seed]\n"
+        "  gpmbench [--jobs N] crash <workload> [seed]\n"
+        "  gpmbench [--jobs N] matrix\n\n"
         "workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps\n"
-        "platforms: gpm ndp eadr capfs capmm capeadr gpufs\n");
+        "platforms: gpm ndp eadr capfs capmm capeadr gpufs\n"
+        "--jobs N: parallel-executor lanes (0 = hardware threads);\n"
+        "          default from GPM_EXEC_WORKERS, else 1\n");
     return 0;
 }
 
@@ -112,10 +118,18 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    SimConfig cfg = bench::benchConfig();
+    int argi = 1;
+    while (argi + 1 < argc && std::strcmp(argv[argi], "--jobs") == 0) {
+        cfg.exec_workers =
+            static_cast<int>(std::strtol(argv[argi + 1], nullptr, 10));
+        argi += 2;
+    }
+    if (argi >= argc)
         return usage();
-    const std::string cmd = argv[1];
-    SimConfig cfg;
+    const std::string cmd = argv[argi];
+    argv += argi - 1;  // commands keep their argv[2..] positions
+    argc -= argi - 1;
 
     if (cmd == "list") {
         for (const Named &n : kWorkloads) {
