@@ -37,6 +37,7 @@
 #include "common/status.hpp"
 #include "crashtest/torture_runner.hpp"
 #include "harness/experiments.hpp"
+#include "telemetry/json.hpp"
 
 using namespace gpm;
 using namespace gpm::bench;
@@ -213,24 +214,44 @@ main(int argc, char **argv)
               << Table::num(best > 0 ? base / best : 0.0) << "x over "
               << widths.size() << " widths\n";
 
-    std::ofstream js("BENCH_simperf.json", std::ios::trunc);
-    js << "{\n  \"host_threads\": " << host_threads
-       << ",\n  \"smoke\": " << (smoke ? "true" : "false")
-       << ",\n  \"stages\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const StageRow &r = rows[i];
-        js << "    {\"stage\": \"" << r.stage
-           << "\", \"jobs\": " << r.jobs << ", \"units\": " << r.units
-           << ", \"wall_s\": " << r.wall_s
-           << ", \"units_per_s\": " << r.unitsPerSec() << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+    // Same keys the hand-rolled emitter used, now through the shared
+    // telemetry serializer (one escaping/number policy, validated
+    // structure), plus the uniform schema/tool envelope fields.
+    {
+        std::ofstream js("BENCH_simperf.json", std::ios::trunc);
+        telemetry::JsonWriter w(js);
+        w.beginObject();
+        w.field("schema", "gpm-metrics-v1");
+        w.field("tool", "simperf");
+        w.field("host_threads", host_threads);
+        w.field("smoke", smoke);
+        w.key("stages");
+        w.beginArray();
+        for (const StageRow &r : rows) {
+            w.beginObject();
+            w.field("stage", r.stage);
+            w.field("jobs", r.jobs);
+            w.field("units", std::uint64_t(r.units));
+            w.field("wall_s", r.wall_s);
+            w.field("units_per_s", r.unitsPerSec());
+            w.endObject();
+        }
+        w.endArray();
+        w.key("crash_matrix");
+        w.beginObject();
+        w.field("scenarios", std::uint64_t(treport.results.size()));
+        w.field("violations", std::uint64_t(treport.violations()));
+        w.field("signature", hex(treport.signature()));
+        w.endObject();
+        w.field("fig9_best_speedup", best > 0 ? base / best : 0.0);
+        w.endObject();
+        GPM_REQUIRE(w.complete() && js.good(),
+                    "failed writing BENCH_simperf.json");
     }
-    js << "  ],\n  \"crash_matrix\": {\"scenarios\": "
-       << treport.results.size()
-       << ", \"violations\": " << treport.violations()
-       << ", \"signature\": \"" << hex(treport.signature())
-       << "\"},\n  \"fig9_best_speedup\": "
-       << (best > 0 ? base / best : 0.0) << "\n}\n";
-    GPM_REQUIRE(js.good(), "failed writing BENCH_simperf.json");
+    std::string error;
+    GPM_REQUIRE(telemetry::validateJsonFile(
+                    "BENCH_simperf.json",
+                    {"schema", "tool", "stages", "crash_matrix"}, &error),
+                "BENCH_simperf.json failed validation: ", error);
     return 0;
 }

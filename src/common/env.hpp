@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared parsing of the executor worker-count knob.
+ *
+ * SimConfig::exec_workers is settable from two places — the
+ * GPM_EXEC_WORKERS environment variable (every bench driver) and the
+ * --jobs flag (gpmbench, gpmtrace). Both funnel through
+ * parseExecWorkers() so the accepted grammar is defined exactly once:
+ * a decimal integer in [0, 1024], no trailing junk, no empty string
+ * (0 means one worker per hardware thread; see SimConfig).
+ */
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace gpm {
+
+/** Upper bound on an explicit worker count. */
+constexpr int kMaxExecWorkers = 1024;
+
+/**
+ * Strictly parse a worker count.
+ *
+ * @return The value for well-formed input in [0, kMaxExecWorkers];
+ *         std::nullopt for null/empty/non-numeric/out-of-range input
+ *         (including any trailing non-digit characters).
+ */
+std::optional<int> parseExecWorkers(const char *s);
+
+/** string_view convenience overload. */
+std::optional<int> parseExecWorkers(std::string_view s);
+
+/**
+ * Worker count from the GPM_EXEC_WORKERS environment variable.
+ *
+ * @return The parsed value, or @p fallback when the variable is unset
+ *         or rejected by parseExecWorkers (invalid input degrades to
+ *         the sequential reference rather than erroring, so a stray
+ *         environment never breaks a bench run).
+ */
+int execWorkersFromEnv(int fallback = 1);
+
+} // namespace gpm

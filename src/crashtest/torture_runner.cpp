@@ -7,6 +7,7 @@
 
 #include "common/hash.hpp"
 #include "common/status.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpm {
 
@@ -189,8 +190,23 @@ TortureRunner::run(const TortureConfig &cfg_in)
                     for (const double p : cfg.survive_probs) {
                         TortureResult r;
                         r.scenario = {name, domain, spec, seed, p};
-                        r.outcome = inv->run(setup, point, seed, p);
-                        classify(r);
+                        {
+                            // Building key() costs a string; skip it
+                            // (and the span) unless tracing is live.
+                            const bool traced = telemetry::enabled();
+                            telemetry::Span span(
+                                traced ? "scenario" : nullptr,
+                                traced ? std::string_view(r.key())
+                                       : std::string_view());
+                            r.outcome = inv->run(setup, point, seed, p);
+                            classify(r);
+                            if (span.armed())
+                                span.arg("outcome",
+                                         outcomeClassName(r.cls));
+                        }
+                        telemetry::count("torture.scenarios");
+                        if (r.cls == OutcomeClass::Violation)
+                            telemetry::count("torture.violations");
                         report.results.push_back(std::move(r));
                     }
                 }

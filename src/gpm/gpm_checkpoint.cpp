@@ -5,6 +5,7 @@
 
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpm {
 
@@ -212,6 +213,14 @@ GpmCheckpoint::checkpoint(std::uint32_t group)
     const std::uint64_t bytes = used_[group];
     GPM_REQUIRE(bytes > 0, "checkpoint of empty group ", group);
 
+    telemetry::Span span("checkpoint", "gpmcp_checkpoint");
+    if (span.armed()) {
+        span.arg("group", std::uint64_t(group));
+        span.arg("bytes", bytes);
+    }
+    telemetry::count("checkpoint.epochs");
+    telemetry::count("checkpoint.bytes", bytes);
+
     // Gather the registered structures into the HBM-side staging
     // buffer (they are contiguous per registration order).
     staging_.assign(alignUp(bytes, 4), 0);
@@ -302,6 +311,14 @@ GpmCheckpoint::restore(std::uint32_t group)
     GPM_REQUIRE(bytes > 0,
                 "restore of group ", group,
                 " with no registered structures");
+
+    telemetry::Span span("recovery", "gpmcp_restore");
+    if (span.armed()) {
+        span.arg("group", std::uint64_t(group));
+        span.arg("bytes", bytes);
+    }
+    telemetry::count("recovery.restores");
+    telemetry::count("recovery.bytes", bytes);
 
     const std::uint64_t src = bufferAddr(group, meta(group).valid_idx);
     for (const Registration &r : regs_[group])

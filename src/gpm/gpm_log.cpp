@@ -3,7 +3,31 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
+
 namespace gpm {
+
+namespace {
+
+/**
+ * Per-append accounting. Individual spans would swamp the timeline
+ * (canonical workloads append tens of thousands of times), so every
+ * append bumps a counter and only every 256th — per calling thread,
+ * so parallel lanes never race on the sample cursor — drops an
+ * instant marker.
+ */
+void
+noteAppend(const char *name)
+{
+    telemetry::count(name);
+    if (telemetry::enabled()) {
+        static thread_local std::uint64_t n = 0;
+        if ((n++ & 255u) == 0)
+            telemetry::instant("log", name);
+    }
+}
+
+} // namespace
 
 namespace {
 
@@ -165,6 +189,7 @@ GpmLog::insert(ThreadCtx &ctx, const void *entry, std::uint32_t size,
                int partition)
 {
     if (hdr_.type == Hcl) {
+        noteAppend("log.hcl_appends");
         GPM_REQUIRE(size <= hdr_.entry_bytes, "entry of ", size,
                     " bytes exceeds HCL entry size ", hdr_.entry_bytes);
         const std::uint64_t gtid = ctx.globalId();
@@ -194,6 +219,7 @@ GpmLog::insert(ThreadCtx &ctx, const void *entry, std::uint32_t size,
     }
 
     // Conventional: append under the partition lock.
+    noteAppend("log.conv_appends");
     const std::uint32_t p = partition >= 0
         ? static_cast<std::uint32_t>(partition)
         : static_cast<std::uint32_t>(ctx.globalId() % hdr_.n_partitions);

@@ -53,6 +53,7 @@
 
 #include "gpusim/launch_stats.hpp"
 #include "pmem/pm_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace gpm {
 
@@ -209,6 +210,11 @@ struct ExecLane {
 
     LaunchStats stats;    ///< the running block's accounting
     bool buffered = false;
+
+    // Telemetry shard: plain per-lane counters bumped on the hot path
+    // and folded into the session registry (or discarded) once per
+    // launch, so instrumentation never contends between workers.
+    telemetry::HotShard tshard;
 
     /** Drop shadow state from the previous launch, keep capacity. */
     void

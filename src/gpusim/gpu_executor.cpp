@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
+
 namespace gpm {
 
 // ---- ThreadCtx data path ----------------------------------------------
@@ -115,6 +117,20 @@ GpuExecutor::noteStore(std::uint64_t executed)
         throw KernelCrashed{executed};
 }
 
+void
+GpuExecutor::mergeTelemetryShards()
+{
+    if (telemetry::Session *s = telemetry::Session::current()) {
+        seq_lane_.tshard.mergeInto(s->metrics);
+        for (ExecLane &lane : lanes_)
+            lane.tshard.mergeInto(s->metrics);
+    } else {
+        seq_lane_.tshard.clear();
+        for (ExecLane &lane : lanes_)
+            lane.tshard.clear();
+    }
+}
+
 unsigned
 GpuExecutor::resolvedWorkers() const
 {
@@ -138,6 +154,14 @@ GpuExecutor::runBlock(const KernelDesc &kernel, std::uint32_t block,
 
     lane.stats = LaunchStats{};
 
+    // Emits even when the block throws KernelCrashed, so crash-armed
+    // launches show their partial block on the timeline.
+    telemetry::Span bspan("block", kernel.name);
+    if (bspan.armed()) {
+        bspan.arg("block", std::uint64_t(block));
+        bspan.arg("mode", lane.buffered ? "shadow" : "direct");
+    }
+
     for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
         for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
             if (!lane.buffered && executed_ == crash_at)
@@ -155,20 +179,51 @@ GpuExecutor::runBlock(const KernelDesc &kernel, std::uint32_t block,
         // away; in buffered mode they stay in the lane's log for the
         // block-ordered replay.
         for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+            const std::size_t n_acc = lane.warps[w].accesses.size();
             const std::size_t mark = lane.txns.size();
-            lane.flush.coalesce(cfg_->coalesce_bytes,
-                                std::uint64_t(block) * warps_per_block +
-                                    w,
-                                lane.warps[w], lane.stats, lane.txns);
+            {
+                // Null category keeps empty warps off the timeline.
+                telemetry::Span fspan(n_acc ? "flush" : nullptr,
+                                      "warp-flush");
+                lane.flush.coalesce(cfg_->coalesce_bytes,
+                                    std::uint64_t(block) *
+                                            warps_per_block +
+                                        w,
+                                    lane.warps[w], lane.stats,
+                                    lane.txns);
+                if (fspan.armed()) {
+                    fspan.arg("warp", std::uint64_t(block) *
+                                          warps_per_block + w);
+                    fspan.arg("accesses", std::uint64_t(n_acc));
+                    fspan.arg("line_txns",
+                              std::uint64_t(lane.txns.size() - mark));
+                }
+            }
+            if (n_acc) {
+                lane.tshard.add(telemetry::HotCounter::WarpFlushes, 1);
+                lane.tshard.add(telemetry::HotCounter::FlushedAccesses,
+                                n_acc);
+                lane.tshard.add(telemetry::HotCounter::CoalescedLineTxns,
+                                lane.txns.size() - mark);
+            }
             if (!lane.buffered) {
+                const std::size_t n_txn = lane.txns.size() - mark;
+                telemetry::Span cspan(n_txn ? "line-commit" : nullptr,
+                                      "nvm-commit");
                 for (std::size_t i = mark; i < lane.txns.size(); ++i)
                     nvm_->recordWrite(lane.txns[i].stream,
                                       lane.txns[i].addr,
                                       cfg_->coalesce_bytes);
+                if (cspan.armed()) {
+                    cspan.arg("txns", std::uint64_t(n_txn));
+                    cspan.arg("bytes",
+                              std::uint64_t(n_txn) * cfg_->coalesce_bytes);
+                }
                 lane.txns.resize(mark);
             }
         }
     }
+    lane.tshard.add(telemetry::HotCounter::BlocksExecuted, 1);
 }
 
 void
@@ -206,6 +261,10 @@ void
 GpuExecutor::replayBlock(const BlockSlice &slice)
 {
     ExecLane &lane = lanes_[slice.lane];
+    telemetry::Span rspan("block", "replay");
+    if (rspan.armed())
+        rspan.arg("ops",
+                  std::uint64_t(slice.ops_end - slice.ops_begin));
     for (std::size_t i = slice.ops_begin; i < slice.ops_end; ++i) {
         const ShadowOp &op = lane.ops[i];
         if (op.kind == ShadowOp::Kind::Write)
@@ -215,9 +274,19 @@ GpuExecutor::replayBlock(const BlockSlice &slice)
         else
             pool_->persistOwner(op.owner);
     }
-    for (std::size_t i = slice.txns_begin; i < slice.txns_end; ++i)
-        nvm_->recordWrite(lane.txns[i].stream, lane.txns[i].addr,
-                          cfg_->coalesce_bytes);
+    {
+        const std::size_t n_txn = slice.txns_end - slice.txns_begin;
+        telemetry::Span cspan(n_txn ? "line-commit" : nullptr,
+                              "nvm-commit-replay");
+        for (std::size_t i = slice.txns_begin; i < slice.txns_end; ++i)
+            nvm_->recordWrite(lane.txns[i].stream, lane.txns[i].addr,
+                              cfg_->coalesce_bytes);
+        if (cspan.armed()) {
+            cspan.arg("txns", std::uint64_t(n_txn));
+            cspan.arg("bytes", std::uint64_t(n_txn) * cfg_->coalesce_bytes);
+        }
+    }
+    lane.tshard.add(telemetry::HotCounter::BlocksReplayed, 1);
 }
 
 void
@@ -288,6 +357,13 @@ GpuExecutor::launch(const KernelDesc &kernel)
         (armed_ && armed_->trigger == CrashPoint::Trigger::ThreadPhases)
             ? armed_->count
             : ~std::uint64_t(0);
+
+    // Merge (or discard) shard counts even when a crash point unwinds
+    // the launch, so a crashed launch's partial work is still counted.
+    struct ShardGuard {
+        GpuExecutor *e;
+        ~ShardGuard() { e->mergeTelemetryShards(); }
+    } shard_guard{this};
 
     // Crash-armed launches always take the sequential path: CrashPoint
     // ordinals are defined over the block-sequential event order.

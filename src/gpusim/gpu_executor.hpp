@@ -92,6 +92,14 @@ class GpuExecutor
     void ensureScheduler(unsigned lanes);
 
     /**
+     * Fold every lane's telemetry shard into the installed session's
+     * registry — or discard the pending values when telemetry is off —
+     * so shard counts never leak across sessions. Runs at every launch
+     * boundary, including crash unwinds.
+     */
+    void mergeTelemetryShards();
+
+    /**
      * Crash-trigger bookkeeping, called from the ThreadCtx data path.
      * Event counters are per launch and 1-based, so e.g.
      * CrashPoint::beforeFence(1) dies before the first fence of the

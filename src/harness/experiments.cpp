@@ -2,9 +2,85 @@
 
 #include <cstdlib>
 
+#include "common/env.hpp"
 #include "workloads/iterative.hpp"
 
 namespace gpm::bench {
+
+namespace {
+
+constexpr BenchKey kBenchKeys[] = {
+    {"kvs", Bench::Kvs},        {"kvs95", Bench::Kvs95},
+    {"dbi", Bench::DbInsert},   {"dbu", Bench::DbUpdate},
+    {"dnn", Bench::Dnn},        {"cfd", Bench::Cfd},
+    {"blk", Bench::Blk},        {"hs", Bench::Hotspot},
+    {"bfs", Bench::Bfs},        {"srad", Bench::Srad},
+    {"ps", Bench::PrefixSum},
+};
+
+constexpr PlatformKey kPlatformKeys[] = {
+    {"gpm", PlatformKind::Gpm},
+    {"ndp", PlatformKind::GpmNdp},
+    {"eadr", PlatformKind::GpmEadr},
+    {"capfs", PlatformKind::CapFs},
+    {"capmm", PlatformKind::CapMm},
+    {"capeadr", PlatformKind::CapEadr},
+    {"gpufs", PlatformKind::Gpufs},
+};
+
+} // namespace
+
+std::span<const BenchKey>
+benchKeys()
+{
+    return kBenchKeys;
+}
+
+std::span<const PlatformKey>
+platformKeys()
+{
+    return kPlatformKeys;
+}
+
+std::optional<Bench>
+benchFromKey(std::string_view key)
+{
+    for (const BenchKey &n : kBenchKeys) {
+        if (key == n.key)
+            return n.bench;
+    }
+    return std::nullopt;
+}
+
+std::optional<PlatformKind>
+platformFromKey(std::string_view key)
+{
+    for (const PlatformKey &n : kPlatformKeys) {
+        if (key == n.key)
+            return n.kind;
+    }
+    return std::nullopt;
+}
+
+const char *
+benchKey(Bench b)
+{
+    for (const BenchKey &n : kBenchKeys) {
+        if (n.bench == b)
+            return n.key;
+    }
+    return "?";
+}
+
+const char *
+platformKey(PlatformKind kind)
+{
+    for (const PlatformKey &n : kPlatformKeys) {
+        if (n.kind == kind)
+            return n.key;
+    }
+    return "?";
+}
 
 std::string
 benchName(Bench b)
@@ -157,12 +233,7 @@ SimConfig
 benchConfig()
 {
     SimConfig cfg;
-    if (const char *env = std::getenv("GPM_EXEC_WORKERS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v >= 0 && v <= 1024)
-            cfg.exec_workers = static_cast<int>(v);
-    }
+    cfg.exec_workers = execWorkersFromEnv(cfg.exec_workers);
     return cfg;
 }
 

@@ -9,7 +9,10 @@
  */
 #pragma once
 
+#include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "cpubaseline/cpu_apps.hpp"
 #include "cpubaseline/cpu_kvs.hpp"
@@ -53,6 +56,38 @@ std::string benchName(Bench b);
 
 /** Workload class (Fig 9's cluster labels). */
 std::string benchClass(Bench b);
+
+// ---- CLI keys (shared by gpmbench and gpmtrace) -------------------------
+
+/** One workload's short command-line key. */
+struct BenchKey {
+    const char *key;
+    Bench bench;
+};
+
+/** One platform's short command-line key. */
+struct PlatformKey {
+    const char *key;
+    PlatformKind kind;
+};
+
+/** Every workload key, in the canonical listing order. */
+std::span<const BenchKey> benchKeys();
+
+/** Every platform key, in the canonical listing order. */
+std::span<const PlatformKey> platformKeys();
+
+/** Workload for CLI key @p key ("kvs", "dbi", ...), if any. */
+std::optional<Bench> benchFromKey(std::string_view key);
+
+/** Platform for CLI key @p key ("gpm", "capfs", ...), if any. */
+std::optional<PlatformKind> platformFromKey(std::string_view key);
+
+/** The CLI key naming @p b (inverse of benchFromKey). */
+const char *benchKey(Bench b);
+
+/** The CLI key naming @p kind (inverse of platformFromKey). */
+const char *platformKey(PlatformKind kind);
 
 /**
  * The time Figures 9/10 compare for this workload: total operation

@@ -2,7 +2,39 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace gpm {
+
+namespace {
+
+/**
+ * Fold one launch's stats into the session counters. The per-launch
+ * NVM tier deltas sum (over clean launches) to the model's observed
+ * totals — the accounting identity test_telemetry checks.
+ */
+void
+recordLaunchMetrics(telemetry::Session &s, const LaunchStats &st,
+                    SimNs now)
+{
+    telemetry::Registry &r = s.metrics;
+    r.add("sim.launches", 1);
+    r.add("sim.blocks", st.blocks);
+    r.add("sim.threads", st.threads);
+    r.add("sim.hbm_bytes", st.hbm_bytes);
+    r.add("sim.pm_payload_bytes", st.pm_payload_bytes);
+    r.add("sim.pm_line_txns", st.pm_line_txns);
+    r.add("sim.pm_line_bytes", st.pm_line_bytes);
+    r.add("sim.pm_read_bytes", st.pm_read_bytes);
+    r.add("sim.fences", st.fences);
+    r.add("nvm.launch_seq_aligned_bytes", st.nvm.seq_aligned);
+    r.add("nvm.launch_seq_unaligned_bytes", st.nvm.seq_unaligned);
+    r.add("nvm.launch_random_bytes", st.nvm.random);
+    r.gaugeAdd("sim.work_ops", st.work_ops);
+    r.gaugeSet("sim.clock_ns", now);
+}
+
+} // namespace
 
 Machine::Machine(const SimConfig &cfg, PlatformKind kind,
                  std::size_t pm_capacity, std::uint64_t seed)
@@ -48,9 +80,38 @@ Machine::effectiveGpuRate(std::uint64_t threads) const
     return cfg_.gpu_ops_per_ns * std::max(util, 1.0 / lanes);
 }
 
+Machine::~Machine()
+{
+    // Whole-run observed totals. Recorded at teardown so the identity
+    // "sum of per-launch tier deltas == model totals" can be checked
+    // from a snapshot alone (clean runs only; a crashed launch's
+    // partial traffic reaches the model but not the launch counters).
+    if (telemetry::Session *s = telemetry::Session::current()) {
+        nvm_.closeRuns();
+        const NvmTierBytes &b = nvm_.bytes();
+        telemetry::Registry &r = s->metrics;
+        r.add("nvm.observed_seq_aligned_bytes", b.seq_aligned);
+        r.add("nvm.observed_seq_unaligned_bytes", b.seq_unaligned);
+        r.add("nvm.observed_random_bytes", b.random);
+        r.add("nvm.observed_write_txns", nvm_.writeTxns());
+        r.add("nvm.observed_read_bytes", nvm_.readBytes());
+        r.add("machine.pcie_write_bytes", pcie_write_bytes_);
+        r.add("machine.persist_payload_bytes", persist_payload_);
+        const PmPoolStats &ps = pool_.stats();
+        r.add("pool.crashes", ps.crashes);
+        r.add("pool.extents_drained", ps.extents_drained);
+        r.add("pool.extents_merged", ps.extents_merged);
+        r.add("pool.crash_sub_extents", ps.crash_sub_extents);
+        r.add("pool.crash_survivors", ps.crash_survivors);
+        r.gaugeAdd("machine.final_clock_ns", now_);
+        r.add("machine.instances", 1);
+    }
+}
+
 LaunchStats
 Machine::runKernel(const KernelDesc &kernel)
 {
+    telemetry::Span span("launch", kernel.name);
     const LaunchStats stats = gpu_.launch(kernel);  // may throw
 
     const SimNs compute_ns =
@@ -91,6 +152,16 @@ Machine::runKernel(const KernelDesc &kernel)
     pcie_write_bytes_ += stats.pm_line_bytes;
     if (fenceIsPersist(pool_.domain()))
         persist_payload_ += stats.pm_payload_bytes;
+    if (telemetry::Session *s = telemetry::Session::current()) {
+        span.arg("blocks", stats.blocks);
+        span.arg("threads", stats.threads);
+        span.arg("pm_payload_bytes", stats.pm_payload_bytes);
+        span.arg("pm_line_txns", stats.pm_line_txns);
+        span.arg("fences", stats.fences);
+        span.arg("sim_ns", launch_ns + std::max(core_ns, mem_ns) +
+                               fence_ns);
+        recordLaunchMetrics(*s, stats, now_);
+    }
     return stats;
 }
 

@@ -51,6 +51,10 @@ class Machine
     Machine(const SimConfig &cfg, PlatformKind kind,
             std::size_t pm_capacity, std::uint64_t seed = 1);
 
+    /** Records whole-run observed totals (NVM tier bytes, PCIe
+     *  traffic, final clock) into the telemetry session, if any. */
+    ~Machine();
+
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 

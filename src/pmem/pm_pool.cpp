@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "telemetry/telemetry.hpp"
+
 namespace gpm {
 
 PmPool::PmPool(std::size_t capacity, PersistDomain domain,
@@ -176,6 +178,13 @@ PmPool::persistAll()
 void
 PmPool::crash(double survive_prob)
 {
+    telemetry::Span span("crash", "power-failure");
+    if (span.armed()) {
+        span.arg("pending_extents",
+                 std::uint64_t(pendingExtents()));
+        span.arg("survive_prob", survive_prob);
+    }
+    const std::uint64_t survivors_before = stats_.crash_survivors;
     ++stats_.crashes;
     if (domain_ == PersistDomain::LlcDurable) {
         // eADR drains caches on power failure.
@@ -208,6 +217,10 @@ PmPool::crash(double survive_prob)
     }
     // Post-reboot: only durable contents remain visible.
     visible_ = durable_;
+    if (span.armed())
+        span.arg("surviving_lines",
+                 stats_.crash_survivors - survivors_before);
+    telemetry::count("pool.crash_events");
 }
 
 std::size_t

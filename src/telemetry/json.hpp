@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Minimal JSON emission and validation for the telemetry subsystem.
+ *
+ * Every machine-readable artifact the repo produces — trace.json,
+ * metrics.json, the BENCH_*.json bench outputs — goes through
+ * JsonWriter so they share one escaping/number-formatting policy and
+ * are syntactically valid by construction. validateJson() is the
+ * matching checker: a strict recursive-descent parser used by the CI
+ * smoke job and by gpmtrace's post-write self-check, so a malformed
+ * artifact fails the run that produced it rather than the tool that
+ * later tries to load it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpm::telemetry {
+
+/**
+ * Streaming JSON writer with structural checking.
+ *
+ * Usage follows the document structure: beginObject()/endObject(),
+ * beginArray()/endArray(), key() before each object member, value()
+ * for scalars. Misnesting (a value where a key is due, an endArray
+ * closing an object, ...) is a panic — emitting malformed JSON is a
+ * bug in the caller, never a runtime condition.
+ */
+class JsonWriter
+{
+  public:
+    /** @param pretty  Two-space indentation (default); false packs. */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Member name; must precede every value inside an object. */
+    void key(std::string_view k);
+
+    void value(std::string_view s);
+    void value(const char *s) { value(std::string_view(s)); }
+    void value(bool b);
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** Emit @p raw verbatim as one value (caller guarantees validity). */
+    void rawValue(std::string_view raw);
+
+    /** True once the root value is complete and the nesting is empty. */
+    bool complete() const { return root_done_ && stack_.empty(); }
+
+    /** JSON string-escape @p s (no surrounding quotes). */
+    static std::string escape(std::string_view s);
+
+    /** Format @p v as a JSON number (NaN/Inf degrade to 0/±1e308). */
+    static std::string number(double v);
+
+  private:
+    struct Level {
+        bool array = false;
+        bool first = true;
+    };
+
+    void beforeValue();
+    void indent();
+
+    std::ostream *os_;
+    bool pretty_;
+    bool key_pending_ = false;
+    bool root_done_ = false;
+    std::vector<Level> stack_;
+};
+
+/**
+ * Strict syntax validation of a complete JSON document.
+ *
+ * @param text   The document.
+ * @param error  When non-null, receives a byte-offset diagnostic on
+ *               failure.
+ * @return true when @p text is exactly one valid JSON value.
+ */
+bool validateJson(std::string_view text, std::string *error = nullptr);
+
+/**
+ * Validate the file at @p path as JSON and require every name in
+ * @p required_keys to appear as a top-level object member. Used by the
+ * CI schema check for trace.json ("traceEvents") and metrics.json
+ * ("schema", "counters", ...).
+ */
+bool validateJsonFile(const std::string &path,
+                      const std::vector<std::string> &required_keys,
+                      std::string *error = nullptr);
+
+} // namespace gpm::telemetry

@@ -1,0 +1,122 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "telemetry/json.hpp"
+
+namespace gpm::telemetry {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_trace_gen{1};
+
+/** Per-thread cache of the buffer for the most recent Trace used. */
+struct TlsCache {
+    std::uint64_t gen = 0;
+    void *buf = nullptr;
+};
+
+thread_local TlsCache t_cache;
+
+} // namespace
+
+Trace::Trace()
+    : t0_(std::chrono::steady_clock::now()),
+      gen_(g_next_trace_gen.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Trace::~Trace() = default;
+
+Trace::Buffer &
+Trace::buffer()
+{
+    if (t_cache.gen == gen_)
+        return *static_cast<Buffer *>(t_cache.buf);
+
+    std::lock_guard<std::mutex> lock(m_);
+    const std::thread::id self = std::this_thread::get_id();
+    for (const std::unique_ptr<Buffer> &b : buffers_) {
+        if (b->owner == self) {
+            t_cache = {gen_, b.get()};
+            return *b;
+        }
+    }
+    auto fresh = std::make_unique<Buffer>();
+    fresh->owner = self;
+    fresh->tid = static_cast<std::uint32_t>(buffers_.size());
+    Buffer &ref = *fresh;
+    buffers_.push_back(std::move(fresh));
+    t_cache = {gen_, &ref};
+    return ref;
+}
+
+void
+Trace::record(TraceEvent ev)
+{
+    Buffer &b = buffer();
+    ev.tid = b.tid;
+    b.events.push_back(std::move(ev));
+}
+
+std::size_t
+Trace::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::size_t n = 0;
+    for (const std::unique_ptr<Buffer> &b : buffers_)
+        n += b->events.size();
+    return n;
+}
+
+std::vector<TraceEvent>
+Trace::collect() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        std::size_t n = 0;
+        for (const std::unique_ptr<Buffer> &b : buffers_)
+            n += b->events.size();
+        out.reserve(n);
+        for (const std::unique_ptr<Buffer> &b : buffers_)
+            out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.ts_us < b.ts_us;
+                     });
+    return out;
+}
+
+void
+Trace::writeJson(JsonWriter &w) const
+{
+    const std::vector<TraceEvent> events = collect();
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const TraceEvent &ev : events) {
+        w.beginObject();
+        w.field("name", ev.name);
+        w.field("cat", std::string_view(ev.cat));
+        w.key("ph");
+        w.value(std::string_view(&ev.ph, 1));
+        w.field("ts", ev.ts_us);
+        if (ev.ph == 'X')
+            w.field("dur", ev.dur_us);
+        w.field("pid", std::uint64_t(1));
+        w.field("tid", std::uint64_t(ev.tid));
+        if (!ev.args.empty()) {
+            w.key("args");
+            w.rawValue(ev.args);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.field("displayTimeUnit", std::string_view("ms"));
+    w.endObject();
+}
+
+} // namespace gpm::telemetry

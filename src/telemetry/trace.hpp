@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chrome trace-event timeline collection.
+ *
+ * Trace gathers *complete* ("ph":"X") and instant ("ph":"i") events
+ * into per-thread buffers and serializes them as the Chrome
+ * trace-event JSON object format ({"traceEvents": [...]}), loadable
+ * directly in Perfetto (ui.perfetto.dev) and chrome://tracing.
+ *
+ * Event categories used across the sim stack (see docs/telemetry.md):
+ *
+ *   launch       kernel launches (Machine::runKernel)
+ *   block        per-block execution and block-ordered replay
+ *   flush        phase-boundary warp flushes through the coalescer
+ *   line-commit  batches of 128 B line transactions into the NVM model
+ *   log          HCL / conventional log appends (sampled)
+ *   checkpoint   gpmcp checkpoint epochs
+ *   recovery     restore / recover / replay-after-reboot paths
+ *   crash        PmPool power-failure events
+ *   scenario     one torture-matrix scenario or CLI phase
+ *
+ * Threading: the block scheduler's pool workers record concurrently,
+ * so buffers are thread-local (created once per thread per Trace
+ * under a mutex, then lock-free). Timestamps are host wall-clock
+ * microseconds since the Trace was created — telemetry observes the
+ * simulator, it never feeds back into modelled time.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gpm::telemetry {
+
+class JsonWriter;
+
+/** One trace event (complete span or instant). */
+struct TraceEvent {
+    double ts_us = 0.0;   ///< start, microseconds since trace epoch
+    double dur_us = 0.0;  ///< span duration (0 for instants)
+    std::uint32_t tid = 0;
+    char ph = 'X';        ///< 'X' complete, 'i' instant
+    const char *cat = ""; ///< static category string
+    std::string name;
+    std::string args;     ///< pre-rendered JSON object ("{...}"), or ""
+};
+
+/** Thread-safe trace-event collector. */
+class Trace
+{
+  public:
+    Trace();
+    ~Trace();
+
+    Trace(const Trace &) = delete;
+    Trace &operator=(const Trace &) = delete;
+
+    /** Microseconds since this trace's epoch. */
+    double
+    nowUs() const
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - t0_)
+            .count();
+    }
+
+    /** Record one event; ev.tid is assigned from the calling thread. */
+    void record(TraceEvent ev);
+
+    /** Total events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Merge all buffers into one timestamp-sorted list. */
+    std::vector<TraceEvent> collect() const;
+
+    /** Emit {"traceEvents": [...], "displayTimeUnit": "ms"}. */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    struct Buffer {
+        std::thread::id owner;
+        std::uint32_t tid = 0;
+        std::vector<TraceEvent> events;
+    };
+
+    Buffer &buffer();
+
+    std::chrono::steady_clock::time_point t0_;
+    std::uint64_t gen_;  ///< distinguishes Trace instances for the TLS cache
+
+    mutable std::mutex m_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+} // namespace gpm::telemetry

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpm {
 
@@ -454,6 +455,8 @@ GpDb::run()
 void
 GpDb::recoverUpdate()
 {
+    telemetry::Span span("recovery", "gpdb_recover");
+    telemetry::count("recovery.invocations");
     const std::uint32_t crashed_batch =
         m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
     const std::uint32_t tpb = 256;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpm {
 
@@ -392,6 +393,8 @@ GpKvs::run()
 void
 GpKvs::recover()
 {
+    telemetry::Span span("recovery", "gpkvs_recover");
+    telemetry::count("recovery.invocations");
     const std::uint32_t crashed_batch =
         m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
 

@@ -7,6 +7,9 @@
 
 #include <sstream>
 
+#include <cstdlib>
+
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
@@ -144,6 +147,53 @@ TEST(Table, NumFormatting)
     EXPECT_EQ(Table::num(3.14159), "3.14");
     EXPECT_EQ(Table::num(3.14159, 1), "3.1");
     EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(ExecWorkers, AcceptsPlainDecimalInRange)
+{
+    EXPECT_EQ(parseExecWorkers("0"), 0);
+    EXPECT_EQ(parseExecWorkers("1"), 1);
+    EXPECT_EQ(parseExecWorkers("8"), 8);
+    EXPECT_EQ(parseExecWorkers("1024"), 1024);
+    EXPECT_EQ(parseExecWorkers("007"), 7);  // leading zeros are digits
+}
+
+TEST(ExecWorkers, RejectsMalformedInput)
+{
+    EXPECT_EQ(parseExecWorkers(nullptr), std::nullopt);
+    EXPECT_EQ(parseExecWorkers(""), std::nullopt);
+    EXPECT_EQ(parseExecWorkers(" 4"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("4 "), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("+4"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("-1"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("4x"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("x4"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("4.0"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("0x10"), std::nullopt);
+}
+
+TEST(ExecWorkers, RejectsOutOfRange)
+{
+    EXPECT_EQ(parseExecWorkers("1025"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("99999"), std::nullopt);
+    EXPECT_EQ(parseExecWorkers("123456"), std::nullopt);  // > 5 digits
+}
+
+TEST(ExecWorkers, EnvFallsBackOnUnsetOrInvalid)
+{
+    ::unsetenv("GPM_EXEC_WORKERS");
+    EXPECT_EQ(execWorkersFromEnv(3), 3);
+
+    ::setenv("GPM_EXEC_WORKERS", "6", 1);
+    EXPECT_EQ(execWorkersFromEnv(3), 6);
+
+    ::setenv("GPM_EXEC_WORKERS", "bogus", 1);
+    EXPECT_EQ(execWorkersFromEnv(3), 3);
+
+    ::setenv("GPM_EXEC_WORKERS", "-2", 1);
+    EXPECT_EQ(execWorkersFromEnv(), 1);
+
+    ::unsetenv("GPM_EXEC_WORKERS");
 }
 
 } // namespace

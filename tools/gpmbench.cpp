@@ -17,6 +17,9 @@
  * --jobs N sets SimConfig::exec_workers (0 = one per hardware
  * thread); results are bit-identical at any width, only wall-clock
  * changes. Defaults to the GPM_EXEC_WORKERS environment variable.
+ * The key tables and the --jobs grammar live in the harness
+ * (benchFromKey/platformFromKey, parseExecWorkers) and are shared
+ * with gpmtrace.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -24,61 +27,13 @@
 #include <optional>
 #include <string>
 
+#include "common/env.hpp"
 #include "harness/experiments.hpp"
 
 using namespace gpm;
 using namespace gpm::bench;
 
 namespace {
-
-struct Named {
-    const char *key;
-    Bench bench;
-};
-
-constexpr Named kWorkloads[] = {
-    {"kvs", Bench::Kvs},        {"kvs95", Bench::Kvs95},
-    {"dbi", Bench::DbInsert},   {"dbu", Bench::DbUpdate},
-    {"dnn", Bench::Dnn},        {"cfd", Bench::Cfd},
-    {"blk", Bench::Blk},        {"hs", Bench::Hotspot},
-    {"bfs", Bench::Bfs},        {"srad", Bench::Srad},
-    {"ps", Bench::PrefixSum},
-};
-
-struct NamedPlatform {
-    const char *key;
-    PlatformKind kind;
-};
-
-constexpr NamedPlatform kPlatforms[] = {
-    {"gpm", PlatformKind::Gpm},
-    {"ndp", PlatformKind::GpmNdp},
-    {"eadr", PlatformKind::GpmEadr},
-    {"capfs", PlatformKind::CapFs},
-    {"capmm", PlatformKind::CapMm},
-    {"capeadr", PlatformKind::CapEadr},
-    {"gpufs", PlatformKind::Gpufs},
-};
-
-std::optional<Bench>
-parseBench(const char *s)
-{
-    for (const Named &n : kWorkloads) {
-        if (std::strcmp(n.key, s) == 0)
-            return n.bench;
-    }
-    return std::nullopt;
-}
-
-std::optional<PlatformKind>
-parsePlatform(const char *s)
-{
-    for (const NamedPlatform &n : kPlatforms) {
-        if (std::strcmp(n.key, s) == 0)
-            return n.kind;
-    }
-    return std::nullopt;
-}
 
 void
 printResult(Bench b, PlatformKind kind, const WorkloadResult &r)
@@ -121,8 +76,15 @@ main(int argc, char **argv)
     SimConfig cfg = bench::benchConfig();
     int argi = 1;
     while (argi + 1 < argc && std::strcmp(argv[argi], "--jobs") == 0) {
-        cfg.exec_workers =
-            static_cast<int>(std::strtol(argv[argi + 1], nullptr, 10));
+        const std::optional<int> jobs = parseExecWorkers(argv[argi + 1]);
+        if (!jobs) {
+            std::fprintf(stderr,
+                         "gpmbench: invalid --jobs value '%s' "
+                         "(want an integer in [0, %d])\n",
+                         argv[argi + 1], kMaxExecWorkers);
+            return 1;
+        }
+        cfg.exec_workers = *jobs;
         argi += 2;
     }
     if (argi >= argc)
@@ -132,7 +94,7 @@ main(int argc, char **argv)
     argc -= argi - 1;
 
     if (cmd == "list") {
-        for (const Named &n : kWorkloads) {
+        for (const BenchKey &n : benchKeys()) {
             std::printf("%-7s %-14s %s\n", n.key,
                         benchName(n.bench).c_str(),
                         benchClass(n.bench).c_str());
@@ -143,8 +105,8 @@ main(int argc, char **argv)
     if (cmd == "run") {
         if (argc < 4)
             return usage();
-        const auto b = parseBench(argv[2]);
-        const auto kind = parsePlatform(argv[3]);
+        const auto b = benchFromKey(argv[2]);
+        const auto kind = platformFromKey(argv[3]);
         if (!b || !kind) {
             std::fprintf(stderr, "unknown workload or platform\n");
             return 1;
@@ -158,7 +120,7 @@ main(int argc, char **argv)
     if (cmd == "crash") {
         if (argc < 3)
             return usage();
-        const auto b = parseBench(argv[2]);
+        const auto b = benchFromKey(argv[2]);
         if (!b) {
             std::fprintf(stderr, "unknown workload\n");
             return 1;
@@ -179,15 +141,15 @@ main(int argc, char **argv)
     }
 
     if (cmd == "matrix") {
-        for (const Named &n : kWorkloads) {
-            for (const NamedPlatform &p :
-                 {NamedPlatform{"capfs", PlatformKind::CapFs},
-                  NamedPlatform{"capmm", PlatformKind::CapMm},
-                  NamedPlatform{"gpm", PlatformKind::Gpm},
-                  NamedPlatform{"gpufs", PlatformKind::Gpufs}}) {
-                printResult(n.bench, p.kind,
-                            runBench(n.bench, p.kind, cfg));
-            }
+        constexpr PlatformKind kMatrixPlatforms[] = {
+            PlatformKind::CapFs,
+            PlatformKind::CapMm,
+            PlatformKind::Gpm,
+            PlatformKind::Gpufs,
+        };
+        for (const BenchKey &n : benchKeys()) {
+            for (const PlatformKind kind : kMatrixPlatforms)
+                printResult(n.bench, kind, runBench(n.bench, kind, cfg));
         }
         return 0;
     }
