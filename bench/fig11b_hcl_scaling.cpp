@@ -6,11 +6,18 @@
  * Paper shape: conventional latency climbs with thread count (lock
  * serialization per partition); HCL stays near-flat — on average
  * ~3.6x lower.
+ *
+ * Each (thread count, logging mode) point builds a private Machine,
+ * so the 14 points sweep across GPM_EXEC_WORKERS host threads; rows
+ * and the average reduce the canonical-order result slots and are
+ * bit-identical at any worker count.
  */
 #include "bench/bench_util.hpp"
+#include "common/env.hpp"
 #include "gpm/gpm_log.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "harness/experiments.hpp"
+#include "harness/sweep.hpp"
 
 using namespace gpm;
 using namespace gpm::bench;
@@ -61,15 +68,27 @@ main()
     Table table({"GPU threads", "Conventional (us)", "HCL (us)",
                  "HCL advantage"});
 
+    const std::vector<std::uint32_t> threads = {
+        1024u, 4096u, 8192u, 16384u, 24576u, 32768u, 49152u};
+
+    // Canonical cell order: (t0 conv, t0 hcl, t1 conv, t1 hcl, ...).
+    SweepOptions opt;
+    opt.workers = execWorkersFromEnv(1);
+    const std::vector<SimNs> ns = sweep(
+        threads.size() * 2,
+        [&](SweepLane &, std::size_t i) {
+            return logMicro(cfg, threads[i / 2], (i & 1) != 0);
+        },
+        opt);
+
     double ratio_sum = 0;
     int rows = 0;
-    for (const std::uint32_t t :
-         {1024u, 4096u, 8192u, 16384u, 24576u, 32768u, 49152u}) {
-        const SimNs conv = logMicro(cfg, t, false);
-        const SimNs hcl = logMicro(cfg, t, true);
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const SimNs conv = ns[2 * i];
+        const SimNs hcl = ns[2 * i + 1];
         ratio_sum += conv / hcl;
         ++rows;
-        table.addRow({std::to_string(t), Table::num(toUs(conv)),
+        table.addRow({std::to_string(threads[i]), Table::num(toUs(conv)),
                       Table::num(toUs(hcl)),
                       Table::num(conv / hcl, 1) + "x"});
     }

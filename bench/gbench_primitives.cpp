@@ -46,6 +46,25 @@ BM_NvmClassifierSequential(benchmark::State &state)
 BENCHMARK(BM_NvmClassifierSequential);
 
 void
+BM_NvmModelSingleStream(benchmark::State &state)
+{
+    // One warp appending run-sized bursts — the dominant recordWrite
+    // pattern. Exercises the last-stream cache: after the first write
+    // every iteration must resolve the stream without a table probe.
+    SimConfig cfg;
+    NvmModel nvm(cfg);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        nvm.recordWrite(3, addr, 64);
+        addr += 64;
+        if ((addr & ((1u << 20) - 1)) == 0)
+            nvm.closeRuns();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvmModelSingleStream);
+
+void
 BM_KernelLaunchSmall(benchmark::State &state)
 {
     SimConfig cfg;

@@ -8,23 +8,26 @@
  * machine-readable results to BENCH_simperf.json:
  *
  *  1. fig9-cells: the full Figure 9 (workload x platform) matrix,
- *     with independent cells (each its own Machine) distributed over
- *     1/2/4/8 host threads — the coarse-grain parallel lever.
+ *     with independent cells (each its own Machine) swept over
+ *     1/2/4/8 host threads by the harness sweep engine — the
+ *     coarse-grain parallel lever. The summed ops come from the
+ *     canonical-order result slots and must match bitwise across
+ *     widths (enforced below).
  *  2. block-engine: GPM cells whose kernels carry the
  *     block_independent marking, re-run with SimConfig::exec_workers
  *     = 1/2/4/8 — the fine-grain parallel executor under test. The
  *     modelled results are bit-identical at every width (enforced by
  *     test_parallel_executor); only host time may change.
  *  3. crash-matrix: a 300-scenario bounded torture sweep (5 workloads
- *     x 3 domains x 4 crash specs x 5 eviction seeds), sequential by
- *     construction (scenario outcomes fold into an order-sensitive
- *     signature).
+ *     x 3 domains x 4 crash specs x 5 eviction seeds), itself swept
+ *     at every width via TortureConfig::jobs; the FNV signature folds
+ *     canonical-order slots and must match bitwise across widths
+ *     (enforced below).
  *
  * --smoke shrinks every stage to a seconds-scale CI gate; the JSON
  * shape is identical so downstream tooling never branches.
  */
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -52,11 +55,6 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-struct Cell {
-    Bench b;
-    PlatformKind kind;
-};
-
 struct StageRow {
     std::string stage;
     unsigned jobs = 1;
@@ -71,37 +69,26 @@ struct StageRow {
 };
 
 /**
- * Run every cell once, @p jobs host threads pulling from a shared
- * cursor. Returns wall seconds. ops_sink guards against the whole
- * run being optimized away and doubles as a cross-width sanity check.
+ * Sweep every cell once across @p jobs host workers (the harness
+ * sweep engine) and return wall seconds. ops_sink sums ops_done over
+ * the canonical-order result slots, so it is schedule-independent and
+ * doubles as the cross-width bit-identity check.
  */
 double
-runCells(const std::vector<Cell> &cells, unsigned jobs,
+runCells(const std::vector<BenchCell> &cells, unsigned jobs,
          int exec_workers, double &ops_sink)
 {
-    std::atomic<std::size_t> next{0};
-    std::vector<double> ops(jobs, 0.0);
+    SimConfig cfg;
+    cfg.exec_workers = exec_workers;
     const auto t0 = Clock::now();
-    auto worker = [&](unsigned j) {
-        SimConfig cfg;
-        cfg.exec_workers = exec_workers;
-        for (std::size_t i; (i = next.fetch_add(1)) < cells.size();) {
-            const WorkloadResult r =
-                runBench(cells[i].b, cells[i].kind, cfg);
-            if (r.supported)
-                ops[j] += r.ops_done;
-        }
-    };
-    std::vector<std::thread> pool;
-    for (unsigned j = 1; j < jobs; ++j)
-        pool.emplace_back(worker, j);
-    worker(0);
-    for (std::thread &t : pool)
-        t.join();
+    const std::vector<WorkloadResult> results =
+        runBenchCells(cells, cfg, static_cast<int>(jobs));
     const double wall = secondsSince(t0);
     ops_sink = 0.0;
-    for (const double o : ops)
-        ops_sink += o;
+    for (const WorkloadResult &r : results) {
+        if (r.supported)
+            ops_sink += r.ops_done;
+    }
     return wall;
 }
 
@@ -141,24 +128,24 @@ main(int argc, char **argv)
         smoke ? std::vector<unsigned>{1, 2}
               : std::vector<unsigned>{1, 2, 4, 8};
 
-    std::vector<Cell> fig9;
-    std::vector<Cell> engine;
+    std::vector<BenchCell> fig9;
+    std::vector<BenchCell> engine;
     if (smoke) {
-        fig9 = {{Bench::PrefixSum, PlatformKind::Gpm},
-                {Bench::Srad, PlatformKind::Gpm}};
+        fig9 = {{Bench::PrefixSum, PlatformKind::Gpm, 1},
+                {Bench::Srad, PlatformKind::Gpm, 1}};
         engine = fig9;
     } else {
         for (const Bench b : kAllBenches)
             for (const PlatformKind kind :
                  {PlatformKind::CapFs, PlatformKind::CapMm,
                   PlatformKind::Gpm, PlatformKind::Gpufs})
-                fig9.push_back({b, kind});
+                fig9.push_back({b, kind, 1});
         // GPM cells whose hot kernels are block_independent (native
         // persistence + checkpointing; see DESIGN.md section 4).
         for (const Bench b :
              {Bench::PrefixSum, Bench::Srad, Bench::DbInsert,
               Bench::Dnn, Bench::Blk, Bench::Hotspot})
-            engine.push_back({b, PlatformKind::Gpm});
+            engine.push_back({b, PlatformKind::Gpm, 1});
     }
 
     std::vector<StageRow> rows;
@@ -185,15 +172,28 @@ main(int argc, char **argv)
                                  static_cast<int>(workers), ops)});
     }
 
-    // Stage 3: the bounded crash matrix.
-    const TortureConfig tcfg = crashMatrixConfig(smoke);
-    const auto t0 = Clock::now();
-    const TortureReport treport = TortureRunner::run(tcfg);
-    const double torture_wall = secondsSince(t0);
-    rows.push_back(
-        {"crash-matrix", 1, treport.results.size(), torture_wall});
-    GPM_REQUIRE(treport.violations() == 0,
-                "crash matrix reported violations");
+    // Stage 3: the bounded crash matrix, itself swept at each width.
+    // The signature folds canonical-order result slots, so it must be
+    // bit-identical whatever the worker count.
+    TortureConfig tcfg = crashMatrixConfig(smoke);
+    TortureReport treport;
+    std::uint64_t ref_sig = 0;
+    for (const unsigned jobs : widths) {
+        tcfg.jobs = static_cast<int>(jobs);
+        const auto t0 = Clock::now();
+        const TortureReport r = TortureRunner::run(tcfg);
+        rows.push_back(
+            {"crash-matrix", jobs, r.results.size(), secondsSince(t0)});
+        GPM_REQUIRE(r.violations() == 0,
+                    "crash matrix reported violations at jobs=", jobs);
+        if (jobs == widths.front()) {
+            ref_sig = r.signature();
+            treport = r;
+        }
+        GPM_REQUIRE(r.signature() == ref_sig,
+                    "crash-matrix signature diverged at jobs=", jobs,
+                    ": ", hex(r.signature()), " vs ", hex(ref_sig));
+    }
 
     // ---- report ---------------------------------------------------------
     Table table({"Stage", "Jobs", "Units", "Wall (s)", "Units/s"});
@@ -242,6 +242,8 @@ main(int argc, char **argv)
         w.field("scenarios", std::uint64_t(treport.results.size()));
         w.field("violations", std::uint64_t(treport.violations()));
         w.field("signature", hex(treport.signature()));
+        w.field("bit_identical_widths",
+                std::uint64_t(widths.size()));
         w.endObject();
         w.field("fig9_best_speedup", best > 0 ? base / best : 0.0);
         w.endObject();

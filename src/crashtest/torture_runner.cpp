@@ -7,6 +7,7 @@
 
 #include "common/hash.hpp"
 #include "common/status.hpp"
+#include "harness/sweep.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -27,16 +28,19 @@ outcomeClassName(OutcomeClass c)
     return "?";
 }
 
-std::string
+const std::string &
 TortureResult::key() const
 {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "/s%llu/p%.2f",
-                  static_cast<unsigned long long>(scenario.seed),
-                  scenario.survive_prob);
-    return scenario.workload + "/" +
-           persistDomainName(scenario.domain) + "/" +
-           scenario.spec.label() + buf;
+    if (key_.empty()) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "/s%llu/p%.2f",
+                      static_cast<unsigned long long>(scenario.seed),
+                      scenario.survive_prob);
+        key_ = scenario.workload + "/" +
+               persistDomainName(scenario.domain) + "/" +
+               scenario.spec.label() + buf;
+    }
+    return key_;
 }
 
 void
@@ -106,13 +110,19 @@ TortureReport::violations() const
     return countOf(OutcomeClass::Violation);
 }
 
+std::array<std::size_t, 4>
+TortureReport::classCounts() const
+{
+    std::array<std::size_t, 4> counts{};
+    for (const TortureResult &r : results)
+        ++counts[static_cast<std::size_t>(r.cls)];
+    return counts;
+}
+
 std::size_t
 TortureReport::countOf(OutcomeClass c) const
 {
-    std::size_t n = 0;
-    for (const TortureResult &r : results)
-        n += r.cls == c;
-    return n;
+    return classCounts()[static_cast<std::size_t>(c)];
 }
 
 std::uint64_t
@@ -170,49 +180,75 @@ TortureReport::summary() const
     return t;
 }
 
+namespace {
+
+/**
+ * Run one scenario end to end: a private invariant adapter and a
+ * private Machine + PmPool world, so scenarios are independent and
+ * the sweep may run them on any worker in any order.
+ */
+TortureResult
+runScenarioCell(SweepLane &lane, const TortureScenario &sc)
+{
+    TortureResult r;
+    r.scenario = sc;
+    const std::unique_ptr<RecoveryInvariant> inv =
+        makeInvariant(sc.workload);
+    const DomainSetup setup = domainSetupFor(sc.domain);
+    const CrashPoint point =
+        sc.spec.materialize(inv->doomedThreadPhases());
+    {
+        // Building key() costs a string; skip it (and the span)
+        // unless tracing is live.
+        const bool traced = telemetry::enabled();
+        telemetry::Span span(traced ? "scenario" : nullptr,
+                             traced ? std::string_view(r.key())
+                                    : std::string_view());
+        r.outcome = inv->run(setup, point, sc.seed, sc.survive_prob);
+        classify(r);
+        if (span.armed())
+            span.arg("outcome", outcomeClassName(r.cls));
+    }
+    lane.count("torture.scenarios");
+    if (r.cls == OutcomeClass::Violation)
+        lane.count("torture.violations");
+    return r;
+}
+
+} // namespace
+
+std::vector<TortureScenario>
+TortureRunner::enumerate(const TortureConfig &cfg)
+{
+    std::vector<TortureScenario> scenarios;
+    scenarios.reserve(cfg.scenarioCount());
+    for (const std::string &name : cfg.workloads)
+        for (const PersistDomain domain : cfg.domains)
+            for (const CrashSpec &spec : cfg.specs)
+                for (const std::uint64_t seed : cfg.seeds)
+                    for (const double p : cfg.survive_probs)
+                        scenarios.push_back(
+                            {name, domain, spec, seed, p});
+    return scenarios;
+}
+
 TortureReport
 TortureRunner::run(const TortureConfig &cfg_in)
 {
     TortureConfig cfg = cfg_in;
     cfg.applyDefaults();
 
+    // The canonical enumeration order is the report order: sweep
+    // results land in their scenario's slot regardless of which
+    // worker ran it, so the table, counts and signature are
+    // bit-identical at any cfg.jobs.
+    const std::vector<TortureScenario> scenarios = enumerate(cfg);
+    SweepOptions opt;
+    opt.workers = cfg.jobs;
+    // Invariant adapters never throw (failures land in
+    // outcome.error), so fail-fast only trips on runner bugs.
     TortureReport report;
-    report.results.reserve(cfg.scenarioCount());
-    for (const std::string &name : cfg.workloads) {
-        const std::unique_ptr<RecoveryInvariant> inv =
-            makeInvariant(name);
-        for (const PersistDomain domain : cfg.domains) {
-            const DomainSetup setup = domainSetupFor(domain);
-            for (const CrashSpec &spec : cfg.specs) {
-                const CrashPoint point =
-                    spec.materialize(inv->doomedThreadPhases());
-                for (const std::uint64_t seed : cfg.seeds) {
-                    for (const double p : cfg.survive_probs) {
-                        TortureResult r;
-                        r.scenario = {name, domain, spec, seed, p};
-                        {
-                            // Building key() costs a string; skip it
-                            // (and the span) unless tracing is live.
-                            const bool traced = telemetry::enabled();
-                            telemetry::Span span(
-                                traced ? "scenario" : nullptr,
-                                traced ? std::string_view(r.key())
-                                       : std::string_view());
-                            r.outcome = inv->run(setup, point, seed, p);
-                            classify(r);
-                            if (span.armed())
-                                span.arg("outcome",
-                                         outcomeClassName(r.cls));
-                        }
-                        telemetry::count("torture.scenarios");
-                        if (r.cls == OutcomeClass::Violation)
-                            telemetry::count("torture.violations");
-                        report.results.push_back(std::move(r));
-                    }
-                }
-            }
-        }
-    }
+    report.results = sweep(scenarios, runScenarioCell, opt);
     return report;
 }
 

@@ -26,6 +26,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -62,8 +63,15 @@ struct TortureResult {
     OutcomeClass cls = OutcomeClass::Violation;
     std::string detail;  ///< why a violation is a violation
 
-    /** scenario key, e.g. "kvs/mc-durable/frac:0.50/s3/p0.50". */
-    std::string key() const;
+    /**
+     * Scenario key, e.g. "kvs/mc-durable/frac:0.50/s3/p0.50".
+     * Memoized: built once per result (the span label and signature()
+     * both read it), cached for every later use.
+     */
+    const std::string &key() const;
+
+  private:
+    mutable std::string key_;  ///< lazily built from scenario
 };
 
 /** What to sweep. Empty vectors mean "the default axis". */
@@ -73,6 +81,15 @@ struct TortureConfig {
     std::vector<CrashSpec> specs;         ///< default: CrashGrid grid
     std::vector<std::uint64_t> seeds;     ///< default: {1..5}
     std::vector<double> survive_probs;    ///< default: {0.0, 0.5}
+
+    /**
+     * Sweep workers (0 = one per hardware thread). Every scenario
+     * constructs a private Machine + PmPool and results land in
+     * canonical slots, so the report — order, counts, signature — is
+     * bit-identical at any worker count (see DESIGN.md "Sweep
+     * engine"); only host wall-clock changes.
+     */
+    int jobs = 1;
 
     /** Fill every empty axis with its default. */
     void applyDefaults();
@@ -85,6 +102,11 @@ struct TortureReport {
     std::vector<TortureResult> results;
 
     std::size_t violations() const;
+
+    /** All four class counts in one pass over the results. */
+    std::array<std::size_t, 4> classCounts() const;
+
+    /** One class's count (classCounts() when you need several). */
     std::size_t countOf(OutcomeClass c) const;
 
     /** Order-sensitive FNV-1a over every scenario outcome. */
@@ -101,6 +123,15 @@ struct TortureReport {
 class TortureRunner
 {
   public:
+    /**
+     * Flatten the five config axes into the canonical scenario order
+     * (workload, domain, spec, seed, survive_prob — outermost first).
+     * run() sweeps exactly this vector; report.results[i] is the
+     * outcome of enumerate(cfg)[i].
+     */
+    static std::vector<TortureScenario> enumerate(
+        const TortureConfig &cfg);
+
     static TortureReport run(const TortureConfig &cfg);
 };
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/env.hpp"
+#include "harness/sweep.hpp"
 #include "workloads/iterative.hpp"
 
 namespace gpm::bench {
@@ -289,6 +290,21 @@ runBench(Bench b, PlatformKind kind, const SimConfig &cfg,
       }
     }
     panic("unknown bench");
+}
+
+std::vector<WorkloadResult>
+runBenchCells(const std::vector<BenchCell> &cells, const SimConfig &cfg,
+              int jobs)
+{
+    SweepOptions opt;
+    opt.workers = jobs;
+    return sweep(
+        cells,
+        [&](SweepLane &lane, const BenchCell &cell) {
+            lane.count("bench.cells");
+            return runBench(cell.b, cell.kind, cfg, cell.seed);
+        },
+        opt);
 }
 
 WorkloadResult

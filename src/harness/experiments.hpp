@@ -13,6 +13,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cpubaseline/cpu_apps.hpp"
 #include "cpubaseline/cpu_kvs.hpp"
@@ -138,6 +139,25 @@ SimConfig benchConfig();
  */
 WorkloadResult runBench(Bench b, PlatformKind kind, const SimConfig &cfg,
                         std::uint64_t seed = 1);
+
+/** One cell of a figure grid. */
+struct BenchCell {
+    Bench b = Bench::Kvs;
+    PlatformKind kind = PlatformKind::Gpm;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Sweep a figure's (workload, platform) cells across @p jobs host
+ * workers (0 = one per hardware thread). Every cell constructs its
+ * own Machine, so cells are independent; results land in cell order
+ * and every modelled number is bit-identical at any @p jobs — only
+ * host wall-clock changes. The canonical fig9/fig10 grid loops and
+ * gpmbench's matrix command all funnel through here.
+ */
+std::vector<WorkloadResult> runBenchCells(
+    const std::vector<BenchCell> &cells, const SimConfig &cfg,
+    int jobs);
 
 /**
  * Crash-and-recover run for Table 5 (transactional + checkpointing

@@ -1,0 +1,272 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+
+namespace gpm {
+
+void
+SweepLane::count(std::string_view name, std::uint64_t n)
+{
+    if (!telemetry_on_)
+        return;
+    for (auto &[key, value] : counts_) {
+        if (key == name) {
+            value += n;
+            return;
+        }
+    }
+    counts_.emplace_back(std::string(name), n);
+}
+
+void
+SweepLane::fold()
+{
+    if (counts_.empty())
+        return;
+    if (telemetry::Session *s = telemetry::Session::current()) {
+        for (const auto &[key, value] : counts_)
+            s->metrics.add(key, value);
+    }
+    counts_.clear();
+}
+
+namespace detail {
+
+/** The engine's backdoor into SweepLane's private lifecycle. */
+struct SweepAccess {
+    static SweepLane
+    make(unsigned worker, bool telemetry_on)
+    {
+        return SweepLane(worker, telemetry_on);
+    }
+
+    static void fold(SweepLane &lane) { lane.fold(); }
+};
+
+} // namespace detail
+
+namespace {
+
+/** Set while a thread is inside a sweep's claim loop; a nested
+ *  sweep() from within an item must run inline (a pool worker waiting
+ *  on the pool would deadlock). */
+thread_local bool t_in_sweep = false;
+
+using SweepFn = std::function<void(SweepLane &, std::size_t)>;
+
+/**
+ * The process-wide pool. Workers park on a condition variable between
+ * sweeps; run() grows the pool to the requested width, publishes the
+ * work, participates in the claim loop itself, and returns once every
+ * participating lane has drained. Sweeps are serialized: the pool has
+ * one generation of work at a time.
+ */
+class SweepPool
+{
+  public:
+    static SweepPool &
+    instance()
+    {
+        static SweepPool pool;
+        return pool;
+    }
+
+    ~SweepPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        wake_cv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+
+    std::vector<SweepError>
+    run(std::size_t n, const SweepFn &fn, const SweepOptions &opt)
+    {
+        unsigned workers =
+            opt.workers == 0
+                ? std::max(1u, std::thread::hardware_concurrency())
+                : static_cast<unsigned>(std::max(opt.workers, 1));
+        workers = static_cast<unsigned>(
+            std::min<std::size_t>(workers, std::max<std::size_t>(n, 1)));
+
+        if (workers <= 1 || t_in_sweep)
+            return runInline(n, fn, opt);
+
+        std::lock_guard<std::mutex> run_lock(run_m_);
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            while (workers_.size() + 1 < workers) {
+                const unsigned lane =
+                    static_cast<unsigned>(workers_.size()) + 1;
+                workers_.emplace_back(
+                    [this, lane] { workerLoop(lane); });
+            }
+            fn_ = &fn;
+            items_ = n;
+            on_error_ = opt.on_error;
+            telemetry_on_ = telemetry::enabled();
+            next_.store(0, std::memory_order_relaxed);
+            abort_.store(false, std::memory_order_relaxed);
+            first_error_ = nullptr;
+            errors_.clear();
+            participants_ = workers;
+            active_ = workers;
+            ++generation_;
+        }
+        wake_cv_.notify_all();
+
+        claimLoop(0);
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            --active_;
+            done_cv_.wait(lock, [this] { return active_ == 0; });
+            fn_ = nullptr;
+        }
+
+        if (first_error_)
+            std::rethrow_exception(first_error_);
+        // Completion order is scheduling noise; the error list is part
+        // of the sweep's deterministic output, so index-order it.
+        std::sort(errors_.begin(), errors_.end(),
+                  [](const SweepError &a, const SweepError &b) {
+                      return a.index < b.index;
+                  });
+        return std::move(errors_);
+    }
+
+  private:
+    std::vector<SweepError>
+    runInline(std::size_t n, const SweepFn &fn, const SweepOptions &opt)
+    {
+        SweepLane lane = detail::SweepAccess::make(0, telemetry::enabled());
+        std::vector<SweepError> errors;
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(lane, i);
+            } catch (...) {
+                if (opt.on_error == SweepOptions::OnError::FailFast) {
+                    first = std::current_exception();
+                    break;
+                }
+                errors.push_back({i, describeCurrentException()});
+            }
+        }
+        detail::SweepAccess::fold(lane);
+        if (first)
+            std::rethrow_exception(first);
+        return errors;
+    }
+
+    static std::string
+    describeCurrentException()
+    {
+        try {
+            throw;
+        } catch (const std::exception &e) {
+            return e.what();
+        } catch (...) {
+            return "unknown exception";
+        }
+    }
+
+    void
+    claimLoop(unsigned worker)
+    {
+        t_in_sweep = true;
+        SweepLane lane = detail::SweepAccess::make(worker, telemetry_on_);
+        std::size_t i;
+        while (!abort_.load(std::memory_order_relaxed) &&
+               (i = next_.fetch_add(1, std::memory_order_relaxed)) <
+                   items_) {
+            try {
+                (*fn_)(lane, i);
+            } catch (...) {
+                if (on_error_ == SweepOptions::OnError::FailFast) {
+                    std::lock_guard<std::mutex> lock(m_);
+                    if (!first_error_)
+                        first_error_ = std::current_exception();
+                    abort_.store(true, std::memory_order_relaxed);
+                } else {
+                    std::string what = describeCurrentException();
+                    std::lock_guard<std::mutex> lock(m_);
+                    errors_.push_back({i, std::move(what)});
+                }
+            }
+        }
+        // Fold this worker's telemetry shard exactly once, at the
+        // sweep boundary (the registry's adds are thread-safe and
+        // commutative, so fold order never shows in a snapshot).
+        detail::SweepAccess::fold(lane);
+        t_in_sweep = false;
+    }
+
+    void
+    workerLoop(unsigned lane)
+    {
+        std::uint64_t seen = 0;
+        std::unique_lock<std::mutex> lock(m_);
+        for (;;) {
+            wake_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            if (lane >= participants_)
+                continue;  // parked pool width > this sweep's width
+            lock.unlock();
+            claimLoop(lane);
+            lock.lock();
+            if (--active_ == 0)
+                done_cv_.notify_all();
+        }
+    }
+
+    std::mutex run_m_;  ///< serializes whole sweeps
+
+    std::mutex m_;
+    std::condition_variable wake_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    unsigned active_ = 0;
+    unsigned participants_ = 0;
+
+    const SweepFn *fn_ = nullptr;
+    std::size_t items_ = 0;
+    SweepOptions::OnError on_error_ = SweepOptions::OnError::FailFast;
+    bool telemetry_on_ = false;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<bool> abort_{false};
+    std::exception_ptr first_error_;
+    std::vector<SweepError> errors_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace
+
+namespace detail {
+
+std::vector<SweepError>
+sweepIndices(std::size_t n, const SweepFn &fn, const SweepOptions &opt)
+{
+    if (n == 0)
+        return {};
+    return SweepPool::instance().run(n, fn, opt);
+}
+
+} // namespace detail
+
+} // namespace gpm

@@ -6,6 +6,59 @@
 
 namespace gpm {
 
+namespace {
+
+/** Fibonacci spread for warp/thread ids (dense small integers). */
+inline std::size_t
+hashStream(std::uint64_t stream)
+{
+    return static_cast<std::size_t>(stream * 0x9E3779B97F4A7C15ull);
+}
+
+constexpr std::size_t kInitialSlots = 64;
+
+} // namespace
+
+std::size_t
+NvmModel::findSlot(std::uint64_t stream)
+{
+    if (table_.empty())
+        table_.assign(kInitialSlots, StreamRuns{});
+    // Grow at 3/4 load before probing so insertion always terminates.
+    if ((active_.size() + 1) * 4 > table_.size() * 3)
+        grow();
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hashStream(stream) & mask;
+    while (table_[i].used && table_[i].stream != stream)
+        i = (i + 1) & mask;
+    if (!table_[i].used) {
+        table_[i].used = true;
+        table_[i].stream = stream;
+        table_[i].count = 0;
+        active_.push_back(static_cast<std::uint32_t>(i));
+    }
+    return i;
+}
+
+void
+NvmModel::grow()
+{
+    std::vector<StreamRuns> old = std::move(table_);
+    const std::vector<std::uint32_t> old_active = std::move(active_);
+    table_.assign(old.empty() ? kInitialSlots : old.size() * 2,
+                  StreamRuns{});
+    active_.clear();
+    const std::size_t mask = table_.size() - 1;
+    for (const std::uint32_t idx : old_active) {
+        std::size_t i = hashStream(old[idx].stream) & mask;
+        while (table_[i].used)
+            i = (i + 1) & mask;
+        table_[i] = old[idx];
+        active_.push_back(static_cast<std::uint32_t>(i));
+    }
+    last_slot_ = kNoSlot;
+}
+
 void
 NvmModel::recordWrite(std::uint64_t stream, std::uint64_t addr,
                       std::uint64_t size)
@@ -13,8 +66,13 @@ NvmModel::recordWrite(std::uint64_t stream, std::uint64_t addr,
     GPM_REQUIRE(size > 0, "zero-size NVM write");
     ++write_txns_;
 
-    std::vector<Run> &runs = open_[stream];
-    for (Run &run : runs) {
+    if (last_slot_ == kNoSlot || last_stream_ != stream) {
+        last_slot_ = findSlot(stream);
+        last_stream_ = stream;
+    }
+    StreamRuns &sr = table_[last_slot_];
+    for (std::uint8_t k = 0; k < sr.count; ++k) {
+        Run &run = sr.runs[k];
         if (addr >= run.start && addr <= run.end) {
             // Contiguous continuation or a rewrite inside the open
             // window: the XPLine buffer merges both.
@@ -24,13 +82,13 @@ NvmModel::recordWrite(std::uint64_t stream, std::uint64_t addr,
             return;
         }
     }
-    if (runs.size() < kRunsPerStream) {
-        runs.push_back(Run{addr, addr + size, 1, write_txns_});
+    if (sr.count < kRunsPerStream) {
+        sr.runs[sr.count++] = Run{addr, addr + size, 1, write_txns_};
         return;
     }
     // All buffer slots busy: evict the least recently extended run.
-    Run *victim = &runs.front();
-    for (Run &run : runs) {
+    Run *victim = &sr.runs.front();
+    for (Run &run : sr.runs) {
         if (run.last_use < victim->last_use)
             victim = &run;
     }
@@ -77,10 +135,17 @@ NvmModel::classify(const Run &run)
 void
 NvmModel::closeRuns()
 {
-    for (const auto &[stream, runs] : open_)
-        for (const Run &run : runs)
-            classify(run);
-    open_.clear();
+    // Insertion order (vs the old map's bucket order); every classify
+    // is a commutative byte-count add, so the totals can't tell.
+    for (const std::uint32_t idx : active_) {
+        StreamRuns &sr = table_[idx];
+        for (std::uint8_t k = 0; k < sr.count; ++k)
+            classify(sr.runs[k]);
+        sr.used = false;
+        sr.count = 0;
+    }
+    active_.clear();
+    last_slot_ = kNoSlot;
 }
 
 SimNs
@@ -104,7 +169,12 @@ NvmModel::readTime(std::uint64_t bytes) const
 void
 NvmModel::reset()
 {
-    open_.clear();
+    for (const std::uint32_t idx : active_) {
+        table_[idx].used = false;
+        table_[idx].count = 0;
+    }
+    active_.clear();
+    last_slot_ = kNoSlot;
     bytes_ = NvmTierBytes{};
     write_txns_ = 0;
     read_bytes_ = 0;

@@ -31,8 +31,8 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -166,12 +166,36 @@ class NvmModel
     /** Classify and retire a completed run. */
     void classify(const Run &run);
 
-    const SimConfig *cfg_;
     // A writer interleaving a few destination regions (e.g. SRAD's
     // image + coefficient matrices) keeps several XPLine buffer
     // slots open at once; model a small fixed number per stream.
-    std::unordered_map<std::uint64_t,
-                       std::vector<Run>> open_;
+    struct StreamRuns {
+        std::uint64_t stream = 0;
+        bool used = false;
+        std::uint8_t count = 0;  ///< open runs in runs[0..count)
+        std::array<Run, kRunsPerStream> runs{};
+    };
+
+    static constexpr std::size_t kNoSlot = ~std::size_t(0);
+
+    /** Slot for @p stream in the flat table, inserting if absent. */
+    std::size_t findSlot(std::uint64_t stream);
+
+    /** Double the table and rehash the active slots. */
+    void grow();
+
+    const SimConfig *cfg_;
+    // recordWrite is the simulator's hottest call (every persist
+    // transaction of every warp lands here), so the per-stream state
+    // lives in an open-addressed flat table probed with a Fibonacci
+    // hash, fronted by a last-stream cache — warps issue bursts, so
+    // consecutive writes almost always hit the same stream. active_
+    // lists used slots in insertion order; classification adds are
+    // commutative, so close order never shows in the tier totals.
+    std::vector<StreamRuns> table_;      ///< power-of-two capacity
+    std::vector<std::uint32_t> active_;  ///< used slots, insertion order
+    std::size_t last_slot_ = kNoSlot;    ///< last-stream cache
+    std::uint64_t last_stream_ = 0;
     NvmTierBytes bytes_;
     std::uint64_t write_txns_ = 0;
     std::uint64_t read_bytes_ = 0;

@@ -18,6 +18,7 @@
 #include "gpm/gpm_log.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "harness/experiments.hpp"
 
 namespace gpm {
 namespace {
@@ -172,6 +173,33 @@ TEST(CrashMatrix, EvictionSeedsChangeSurvivalNotCorrectness)
     }
     // The seed axis is live: survival patterns differ across seeds.
     EXPECT_GT(survivor_counts.size(), 1u);
+}
+
+TEST(CrashMatrix, SimperfCellsAreBitIdenticalAcrossSweepWidths)
+{
+    // simperf's fig9-cells stage asserts exact ops equality across
+    // widths; this is the same contract on every modelled field, on
+    // the two cheapest cells.
+    using namespace gpm::bench;
+    const std::vector<BenchCell> cells = {
+        {Bench::PrefixSum, PlatformKind::Gpm, 1},
+        {Bench::Srad, PlatformKind::Gpm, 1},
+    };
+    SimConfig cfg;
+    const std::vector<WorkloadResult> a = runBenchCells(cells, cfg, 1);
+    const std::vector<WorkloadResult> b = runBenchCells(cells, cfg, 4);
+    ASSERT_EQ(a.size(), cells.size());
+    ASSERT_EQ(b.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(a[i].supported, b[i].supported) << i;
+        EXPECT_EQ(a[i].op_ns, b[i].op_ns) << i;
+        EXPECT_EQ(a[i].persist_ns, b[i].persist_ns) << i;
+        EXPECT_EQ(a[i].recovery_ns, b[i].recovery_ns) << i;
+        EXPECT_EQ(a[i].persisted_payload, b[i].persisted_payload) << i;
+        EXPECT_EQ(a[i].pcie_write_bytes, b[i].pcie_write_bytes) << i;
+        EXPECT_EQ(a[i].ops_done, b[i].ops_done) << i;
+        EXPECT_EQ(a[i].verified, b[i].verified) << i;
+    }
 }
 
 TEST(CrashMatrix, BoundaryEventsFireAndRecover)

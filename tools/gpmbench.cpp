@@ -17,6 +17,10 @@
  * --jobs N sets SimConfig::exec_workers (0 = one per hardware
  * thread); results are bit-identical at any width, only wall-clock
  * changes. Defaults to the GPM_EXEC_WORKERS environment variable.
+ * The matrix command spends the same budget one level up: whole
+ * (workload, platform) cells are swept over --jobs host workers
+ * (each cell's blocks then run sequentially), with rows printed in
+ * canonical cell order.
  * The key tables and the --jobs grammar live in the harness
  * (benchFromKey/platformFromKey, parseExecWorkers) and are shared
  * with gpmtrace.
@@ -26,6 +30,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/env.hpp"
 #include "harness/experiments.hpp"
@@ -147,10 +152,20 @@ main(int argc, char **argv)
             PlatformKind::Gpm,
             PlatformKind::Gpufs,
         };
-        for (const BenchKey &n : benchKeys()) {
+        std::vector<BenchCell> cells;
+        for (const BenchKey &n : benchKeys())
             for (const PlatformKind kind : kMatrixPlatforms)
-                printResult(n.bench, kind, runBench(n.bench, kind, cfg));
-        }
+                cells.push_back({n.bench, kind, 1});
+        // For a 44-cell grid the coarse-grain lever wins: distribute
+        // whole cells over --jobs workers and run each cell's blocks
+        // sequentially. Results are bit-identical either way; rows
+        // print in canonical cell order whatever finished first.
+        SimConfig cell_cfg = cfg;
+        cell_cfg.exec_workers = 1;
+        const std::vector<WorkloadResult> results =
+            runBenchCells(cells, cell_cfg, cfg.exec_workers);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            printResult(cells[i].b, cells[i].kind, results[i]);
         return 0;
     }
 

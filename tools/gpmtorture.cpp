@@ -14,21 +14,32 @@
  *     --points    frac:0.5,before-fence:1,after-fence:2,after-store:3
  *     --seeds     1,2,3               eviction seeds
  *     --survive   0.0,0.5             line-survival probabilities
+ *     --jobs      N                   sweep workers (0 = hw threads;
+ *                                     default GPM_EXEC_WORKERS, else 1)
  *     --tsv                           tab-separated full table
  *     --summary-only                  omit the full table
  *     --list                          print workloads + grammar
+ *
+ * Every scenario is a private Machine + PmPool world and the sweep
+ * engine lands results in canonical slots, so the report — table
+ * order, counts, signature — is bit-identical at any --jobs; only the
+ * printed sweep wall-clock changes.
  *
  * Crash-point grammar: frac:<f in [0,1]> | before-fence:<n> |
  * after-fence:<n> | after-store:<n> (event ordinals are 1-based and
  * global to the doomed kernel launch).
  */
+#include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/status.hpp"
 #include "crashtest/torture_runner.hpp"
 
@@ -72,8 +83,8 @@ usage()
     std::printf(
         "usage: gpmtorture [--workloads w,...] [--domains d,...]\n"
         "                  [--points p,...] [--seeds s,...]\n"
-        "                  [--survive f,...] [--tsv] [--summary-only]\n"
-        "                  [--list]\n");
+        "                  [--survive f,...] [--jobs n] [--tsv]\n"
+        "                  [--summary-only] [--list]\n");
 }
 
 void
@@ -98,6 +109,7 @@ int
 main(int argc, char **argv)
 {
     TortureConfig cfg;
+    cfg.jobs = execWorkersFromEnv(cfg.jobs);
     bool tsv = false;
     bool summary_only = false;
 
@@ -131,6 +143,13 @@ main(int argc, char **argv)
                      splitList("--survive", value()))
                     cfg.survive_probs.push_back(
                         std::strtod(s.c_str(), nullptr));
+            } else if (arg == "--jobs") {
+                const std::string v = value();
+                const std::optional<int> jobs = parseExecWorkers(v);
+                GPM_REQUIRE(jobs.has_value(),
+                            "--jobs: want an integer in [0, ",
+                            kMaxExecWorkers, "], got '", v, "'");
+                cfg.jobs = *jobs;
             } else if (arg == "--tsv") {
                 tsv = true;
             } else if (arg == "--summary-only") {
@@ -150,10 +169,15 @@ main(int argc, char **argv)
 
         TortureConfig counted = cfg;
         counted.applyDefaults();
-        std::printf("sweeping %zu crash scenarios...\n",
-                    counted.scenarioCount());
+        std::printf("sweeping %zu crash scenarios (--jobs %d)...\n",
+                    counted.scenarioCount(), cfg.jobs);
 
+        const auto t0 = std::chrono::steady_clock::now();
         const TortureReport report = TortureRunner::run(cfg);
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         if (!summary_only) {
             if (tsv)
                 report.table().printTsv(std::cout);
@@ -162,18 +186,24 @@ main(int argc, char **argv)
             std::printf("\n");
         }
         report.summary().print(std::cout);
+        const std::array<std::size_t, 4> counts =
+            report.classCounts();
         std::printf("\nscenarios: %zu  strict-ok: %zu  ddio-trap: %zu"
                     "  not-fired: %zu  violations: %zu\n",
                     report.results.size(),
-                    report.countOf(OutcomeClass::StrictOk),
-                    report.countOf(OutcomeClass::DdioTrap),
-                    report.countOf(OutcomeClass::NotFired),
-                    report.violations());
+                    counts[static_cast<int>(OutcomeClass::StrictOk)],
+                    counts[static_cast<int>(OutcomeClass::DdioTrap)],
+                    counts[static_cast<int>(OutcomeClass::NotFired)],
+                    counts[static_cast<int>(OutcomeClass::Violation)]);
         std::printf("signature: %016llx\n",
                     static_cast<unsigned long long>(
                         report.signature()));
+        std::printf("sweep wall: %.3f s  (%zu scenarios, --jobs %d, "
+                    "%.0f scenarios/s)\n",
+                    wall_s, report.results.size(), cfg.jobs,
+                    wall_s > 0 ? report.results.size() / wall_s : 0.0);
 
-        if (report.violations() != 0) {
+        if (counts[static_cast<int>(OutcomeClass::Violation)] != 0) {
             for (const TortureResult &r : report.results) {
                 if (r.cls == OutcomeClass::Violation)
                     std::printf("VIOLATION %s: %s\n", r.key().c_str(),
