@@ -1,0 +1,571 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "common/status.hpp"
+#include "pmem/pm_pool.hpp"
+
+namespace gpm {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warn:
+        return "warn";
+      case Severity::Error:
+        return "error";
+    }
+    return "?";
+}
+
+Severity
+parseSeverity(const std::string &name)
+{
+    if (name == "info")
+        return Severity::Info;
+    if (name == "warn")
+        return Severity::Warn;
+    if (name == "error")
+        return Severity::Error;
+    fatal("unknown severity '", name, "' (info | warn | error)");
+}
+
+const char *
+ruleIdName(RuleId r)
+{
+    switch (r) {
+      case RuleId::UnpersistedStore:
+        return "unpersisted-store";
+      case RuleId::EpochOrder:
+        return "epoch-order";
+      case RuleId::TornUpdate:
+        return "torn-update";
+      case RuleId::RedundantFence:
+        return "redundant-fence";
+      case RuleId::RedundantFlush:
+        return "redundant-flush";
+      case RuleId::CrashUnreachable:
+        return "crash-unreachable";
+    }
+    return "?";
+}
+
+const char *
+witnessStatusName(WitnessStatus s)
+{
+    switch (s) {
+      case WitnessStatus::None:
+        return "-";
+      case WitnessStatus::Unconfirmed:
+        return "unconfirmed";
+      case WitnessStatus::Confirmed:
+        return "CONFIRMED";
+      case WitnessStatus::NotReproduced:
+        return "not-reproduced";
+    }
+    return "?";
+}
+
+std::size_t
+AnalysisReport::countAtLeast(Severity floor) const
+{
+    std::size_t n = 0;
+    for (const Finding &f : findings)
+        if (f.severity >= floor)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+AnalysisReport::findingsHash() const
+{
+    std::uint64_t h = kFnvOffset;
+    for (const Finding &f : findings) {
+        h = fnv1aU64(static_cast<std::uint64_t>(f.rule), h);
+        h = fnv1aU64(static_cast<std::uint64_t>(f.severity), h);
+        h = fnv1aStr(f.range, h);
+        h = fnv1aStr(f.kernel, h);
+        h = fnv1aU64(f.count, h);
+        h = fnv1aStr(f.detail, h);
+        h = fnv1aStr(f.witness_spec, h);
+        h = fnv1aU64(
+            static_cast<std::uint64_t>(f.witness_survive * 1e6), h);
+    }
+    return h;
+}
+
+namespace {
+
+constexpr std::uint64_t kNeverDurable =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Epoch-model state of one Store event. */
+struct StoreState {
+    std::size_t ev = 0;        ///< index into events()
+    std::uint64_t epoch = 0;   ///< 0 = never durable
+    bool lost = false;         ///< pending when the Crash event hit
+    std::size_t drain_ev = 0;  ///< event that drained it (valid iff epoch)
+    std::uint32_t era = 0;     ///< Crash events before this store
+};
+
+/** Ordering epoch of a store for rule checks: 0 -> +inf. */
+std::uint64_t
+orderEpoch(const StoreState &s)
+{
+    return s.epoch == 0 ? kNeverDurable : s.epoch;
+}
+
+bool
+overlaps(const PmEvent &e, const PmDeclaredRange &r)
+{
+    return e.addr < r.addr + r.size && r.addr < e.addr + e.size;
+}
+
+/** The epoch simulation: replay the stream, assign persist epochs. */
+struct EpochSim {
+    std::vector<StoreState> stores;       ///< one per Store event
+    std::vector<std::size_t> store_of_ev; ///< event idx -> store idx
+    std::uint64_t next_epoch = 1;
+
+    explicit EpochSim(const std::vector<PmEvent> &events)
+    {
+        std::uint32_t era = 0;
+        store_of_ev.assign(events.size(), SIZE_MAX);
+        // owner -> indices into stores still pending.
+        std::map<OwnerId, std::vector<std::size_t>> pending;
+
+        const auto drainInto = [&](std::vector<std::size_t> &list,
+                                   std::size_t drain_ev, bool &any) {
+            for (const std::size_t si : list) {
+                stores[si].epoch = next_epoch;
+                stores[si].drain_ev = drain_ev;
+                any = true;
+            }
+            list.clear();
+        };
+
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const PmEvent &e = events[i];
+            switch (e.kind) {
+              case PmEventKind::Store: {
+                store_of_ev[i] = stores.size();
+                StoreState s;
+                s.ev = i;
+                s.era = era;
+                if (e.domain == PersistDomain::LlcDurable) {
+                    s.epoch = next_epoch++;  // durable on arrival
+                    s.drain_ev = i;
+                } else {
+                    pending[e.owner].push_back(stores.size());
+                }
+                stores.push_back(s);
+                break;
+              }
+              case PmEventKind::Fence: {
+                // Fences persist only in the fence-persisting domain
+                // (PmPool::persistOwner); elsewhere they order only.
+                if (e.domain != PersistDomain::McDurable)
+                    break;
+                bool any = false;
+                auto it = pending.find(e.owner);
+                if (it != pending.end())
+                    drainInto(it->second, i, any);
+                if (any)
+                    ++next_epoch;
+                break;
+              }
+              case PmEventKind::FlushRange: {
+                // CPU flushes drain overlapping pending stores of
+                // every owner, in any domain (PmPool::persistRange).
+                bool any = false;
+                for (auto &[owner, list] : pending) {
+                    std::vector<std::size_t> keep;
+                    for (const std::size_t si : list) {
+                        const PmEvent &se = events[stores[si].ev];
+                        if (se.addr < e.addr + e.size &&
+                            e.addr < se.addr + se.size) {
+                            stores[si].epoch = next_epoch;
+                            stores[si].drain_ev = i;
+                            any = true;
+                        } else {
+                            keep.push_back(si);
+                        }
+                    }
+                    list = std::move(keep);
+                }
+                if (any)
+                    ++next_epoch;
+                break;
+              }
+              case PmEventKind::PersistAll: {
+                bool any = false;
+                for (auto &[owner, list] : pending)
+                    drainInto(list, i, any);
+                if (any)
+                    ++next_epoch;
+                break;
+              }
+              case PmEventKind::Crash: {
+                // Everything still pending was lost to the failure.
+                for (auto &[owner, list] : pending) {
+                    for (const std::size_t si : list)
+                        stores[si].lost = true;
+                    list.clear();
+                }
+                ++era;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+};
+
+/** Aggregation key: one finding row per (rule, range, kernel). */
+using FindingKey = std::tuple<int, std::string, std::string>;
+
+class FindingSet
+{
+  public:
+    /** Add an instance; the first one fixes severity/detail/witness. */
+    void
+    add(RuleId rule, Severity sev, const std::string &range,
+        const std::string &kernel, const std::string &detail,
+        const std::string &witness_spec = "", double survive = 0.0)
+    {
+        const FindingKey key{static_cast<int>(rule), range, kernel};
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            Finding f;
+            f.rule = rule;
+            f.severity = sev;
+            f.range = range;
+            f.kernel = kernel;
+            f.count = 1;
+            f.detail = detail;
+            f.witness_spec = witness_spec;
+            f.witness_survive = survive;
+            f.witness = witness_spec.empty()
+                            ? WitnessStatus::None
+                            : WitnessStatus::Unconfirmed;
+            map_.emplace(key, std::move(f));
+            return;
+        }
+        ++it->second.count;
+        it->second.severity = std::max(it->second.severity, sev);
+        // Prefer a witnessed instance as the representative.
+        if (it->second.witness_spec.empty() && !witness_spec.empty()) {
+            it->second.detail = detail;
+            it->second.witness_spec = witness_spec;
+            it->second.witness_survive = survive;
+            it->second.witness = WitnessStatus::Unconfirmed;
+        }
+    }
+
+    std::vector<Finding>
+    sorted() &&
+    {
+        std::vector<Finding> out;
+        out.reserve(map_.size());
+        for (auto &[key, f] : map_)
+            out.push_back(std::move(f));
+        std::sort(out.begin(), out.end(),
+                  [](const Finding &a, const Finding &b) {
+                      if (a.severity != b.severity)
+                          return a.severity > b.severity;
+                      if (a.rule != b.rule)
+                          return a.rule < b.rule;
+                      if (a.range != b.range)
+                          return a.range < b.range;
+                      return a.kernel < b.kernel;
+                  });
+        return out;
+    }
+
+  private:
+    std::map<FindingKey, Finding> map_;
+};
+
+Severity
+storeSeverity(const PmEvent &store)
+{
+    // A store the platform never promised to persist (the DDIO trap)
+    // is the domain's known hazard, not the workload's bug.
+    return store.domain == PersistDomain::LlcVolatile ? Severity::Info
+                                                      : Severity::Error;
+}
+
+std::string
+specOf(const char *kind, std::uint32_t ordinal)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%s:%u", kind, ordinal);
+    return buf;
+}
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+AnalysisReport
+analyzePmTrace(const PmEventRecorder &rec)
+{
+    const std::vector<PmEvent> &events = rec.events();
+    const std::vector<PmDeclaredRange> &ranges = rec.ranges();
+    EpochSim sim(events);
+    FindingSet out;
+
+    AnalysisReport report;
+    report.stream_hash = rec.streamHash();
+    report.events = events.size();
+    report.stores = sim.stores.size();
+    report.epochs = sim.next_epoch - 1;
+
+    // ---- unpersisted-store --------------------------------------------
+    // A store inside a declared range that never reached durability:
+    // lost at the crash, or still pending when the trace ended.
+    for (const StoreState &s : sim.stores) {
+        if (s.epoch != 0)
+            continue;
+        const PmEvent &se = events[s.ev];
+        for (const PmDeclaredRange &r : ranges) {
+            if (!overlaps(se, r))
+                continue;
+            std::string witness;
+            if (se.armed)
+                witness = specOf("after-store", se.ordinal);
+            out.add(RuleId::UnpersistedStore, storeSeverity(se), r.label,
+                    rec.kernelName(se.kernel),
+                    std::string(s.lost ? "lost at crash" :
+                                         "pending at trace end") +
+                        ": store " + hex(se.addr) + "+" +
+                        std::to_string(se.size) + " never drained",
+                    witness, 0.0);
+        }
+    }
+
+    // ---- epoch-order ---------------------------------------------------
+    // For each declared rule, scan stores in stream order keeping the
+    // worst (latest / never) persist epoch seen over the `first`
+    // range; any later `then` store durable at or before that epoch
+    // violates the rule. O(stores) per rule.
+    for (const PmOrderRule &rule : rec.orders()) {
+        const PmDeclaredRange *first = nullptr, *then = nullptr;
+        for (const PmDeclaredRange &r : ranges) {
+            if (r.label == rule.first)
+                first = &r;
+            if (r.label == rule.then)
+                then = &r;
+        }
+        if (first == nullptr || then == nullptr)
+            continue;
+        std::uint64_t worst_first = 0;  // max orderEpoch so far
+        std::size_t worst_idx = SIZE_MAX;
+        // (launch, owner) -> first durable `then` store: data the
+        // same thread writes *after* its commit record within one
+        // launch is the reordered-flip bug — the sentinel cannot
+        // cover stores its own thread has not issued yet. Host
+        // context (launch 0) spans the whole trace and is exempt: a
+        // later transaction's data legitimately follows an earlier
+        // host-side commit.
+        std::map<std::pair<std::uint32_t, OwnerId>, std::size_t>
+            commit_seen;
+        std::uint32_t era = 0;
+        for (const StoreState &s : sim.stores) {
+            const PmEvent &se = events[s.ev];
+            if (s.era != era) {
+                // A crash resets the persist-order obligations: data
+                // the failure destroyed cannot indict commit records
+                // recovery writes afterwards — reconciling the two is
+                // exactly what the recovery invariant checks.
+                era = s.era;
+                worst_first = 0;
+                worst_idx = SIZE_MAX;
+                commit_seen.clear();
+            }
+            if (overlaps(se, *first)) {
+                if (se.launch != 0) {
+                    const auto it =
+                        commit_seen.find({se.launch, se.owner});
+                    if (it != commit_seen.end()) {
+                        const StoreState &ts = sim.stores[it->second];
+                        const PmEvent &te = events[ts.ev];
+                        const PmEvent &de = events[ts.drain_ev];
+                        std::string witness;
+                        if (de.kind == PmEventKind::Fence && de.armed)
+                            witness = specOf("after-fence", de.ordinal);
+                        else if (de.kind == PmEventKind::Store &&
+                                 de.armed)
+                            witness = specOf("after-store", de.ordinal);
+                        out.add(RuleId::EpochOrder,
+                                std::min(storeSeverity(se),
+                                         storeSeverity(te)),
+                                rule.then, rec.kernelName(se.kernel),
+                                "commit-before-data: " + rule.then +
+                                    " store " + hex(te.addr) +
+                                    " persisted at epoch " +
+                                    std::to_string(ts.epoch) +
+                                    " before same-thread " +
+                                    rule.first + " store " +
+                                    hex(se.addr),
+                                witness, 0.0);
+                    }
+                }
+                const std::uint64_t oe = orderEpoch(s);
+                if (oe > worst_first) {
+                    worst_first = oe;
+                    worst_idx = s.ev;
+                }
+            }
+            if (overlaps(se, *then) && s.epoch != 0 && se.launch != 0)
+                commit_seen.emplace(
+                    std::pair<std::uint32_t, OwnerId>{se.launch,
+                                                      se.owner},
+                    static_cast<std::size_t>(&s - sim.stores.data()));
+            if (!overlaps(se, *then) || s.epoch == 0)
+                continue;
+            const bool late = worst_first > s.epoch;
+            const bool tied = rule.strict && worst_first == s.epoch;
+            if (!late && !tied)
+                continue;
+            const PmEvent &fe = events[worst_idx];
+            std::string witness;
+            double survive = 0.0;
+            const PmEvent &de = events[s.drain_ev];
+            if (tied) {
+                // Same fence drained data and commit record: a crash
+                // just before it tears at 128 B granularity, so the
+                // sentinel can survive without its entry.
+                if (de.kind == PmEventKind::Fence && de.armed) {
+                    witness = specOf("before-fence", de.ordinal);
+                    survive = 0.5;
+                }
+            } else if (de.kind == PmEventKind::Fence && de.armed) {
+                // Crash after the fence that persisted the commit
+                // record, while the data it covers is still pending.
+                witness = specOf("after-fence", de.ordinal);
+            }
+            // The DDIO trap (llc-volatile data that never persisted
+            // under a durable commit) is the domain's known hazard,
+            // not the workload's: severity follows the milder of the
+            // two stores' domains.
+            out.add(
+                RuleId::EpochOrder,
+                std::min(storeSeverity(se), storeSeverity(fe)),
+                rule.then, rec.kernelName(se.kernel),
+                std::string(tied ? "same-epoch" : "out-of-order") +
+                    ": " + rule.then + " store " + hex(se.addr) +
+                    " persisted at epoch " + std::to_string(s.epoch) +
+                    " while " + rule.first + " store " + hex(fe.addr) +
+                    (worst_first == kNeverDurable
+                         ? " never persisted"
+                         : " persisted at epoch " +
+                               std::to_string(worst_first)),
+                witness, survive);
+        }
+    }
+
+    // ---- torn-update ---------------------------------------------------
+    // Several stores of one launch into one atomic_unit cell that
+    // became durable at different instants: a crash between the
+    // epochs leaves the cell half old, half new.
+    for (const PmDeclaredRange &r : ranges) {
+        if (r.atomic_unit == 0)
+            continue;
+        // (launch, cell) -> store indices, in stream order.
+        std::map<std::pair<std::uint32_t, std::uint64_t>,
+                 std::vector<std::size_t>>
+            cells;
+        for (std::size_t si = 0; si < sim.stores.size(); ++si) {
+            const PmEvent &se = events[sim.stores[si].ev];
+            if (se.launch == 0 || !overlaps(se, r))
+                continue;
+            const std::uint64_t cell = (se.addr - r.addr) / r.atomic_unit;
+            cells[{se.launch, cell}].push_back(si);
+        }
+        for (const auto &[key, list] : cells) {
+            if (list.size() < 2)
+                continue;
+            bool torn = false;
+            for (const std::size_t si : list)
+                if (orderEpoch(sim.stores[si]) !=
+                    orderEpoch(sim.stores[list[0]]))
+                    torn = true;
+            if (!torn)
+                continue;
+            const StoreState &s0 = sim.stores[list[0]];
+            const PmEvent &se0 = events[s0.ev];
+            std::string witness;
+            if (s0.epoch != 0) {
+                const PmEvent &de = events[s0.drain_ev];
+                if (de.kind == PmEventKind::Fence && de.armed)
+                    witness = specOf("after-fence", de.ordinal);
+                else if (de.kind == PmEventKind::Store && de.armed)
+                    witness = specOf("after-store", de.ordinal);
+            }
+            out.add(RuleId::TornUpdate, storeSeverity(se0), r.label,
+                    rec.kernelName(se0.kernel),
+                    std::to_string(list.size()) + " stores to " +
+                        std::to_string(r.atomic_unit) + " B cell " +
+                        std::to_string(key.second) +
+                        " persist in different epochs",
+                    witness, 0.0);
+        }
+    }
+
+    // ---- redundant-fence / redundant-flush (perf lints) ---------------
+    for (const PmEvent &e : events) {
+        if (e.kind == PmEventKind::Fence &&
+            e.domain == PersistDomain::McDurable && e.drained == 0 &&
+            e.owner < kCpuOwnerBase) {
+            out.add(RuleId::RedundantFence, Severity::Info, "",
+                    rec.kernelName(e.kernel),
+                    "system-scope fence drained nothing");
+        }
+        if (e.kind == PmEventKind::FlushRange &&
+            e.domain != PersistDomain::LlcDurable && e.drained == 0) {
+            out.add(RuleId::RedundantFlush, Severity::Warn, "",
+                    rec.kernelName(e.kernel),
+                    "flush of " + hex(e.addr) + "+" +
+                        std::to_string(e.size) + " drained nothing");
+        }
+    }
+
+    // ---- crash-unreachable --------------------------------------------
+    // Declared ranges no crash-armed launch ever stores to: the
+    // torture matrix cannot catch ordering bugs there.
+    for (const PmDeclaredRange &r : ranges) {
+        bool reachable = false;
+        for (const StoreState &s : sim.stores) {
+            const PmEvent &se = events[s.ev];
+            if (se.armed && overlaps(se, r)) {
+                reachable = true;
+                break;
+            }
+        }
+        if (!reachable)
+            out.add(RuleId::CrashUnreachable, Severity::Info, r.label,
+                    "",
+                    "no crash-armed launch stores to this range "
+                    "(dead torture coverage)");
+    }
+
+    report.findings = std::move(out).sorted();
+    return report;
+}
+
+} // namespace gpm

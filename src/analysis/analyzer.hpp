@@ -1,0 +1,121 @@
+/**
+ * @file
+ * gpmcheck: the persistency-ordering analyzer.
+ *
+ * Input: one PmEventRecorder trace — the deterministic event stream a
+ * scenario's PmPool captured (stores, fences with drained bytes,
+ * range flushes, domain toggles, the crash) plus the workload's
+ * declarations of durable intent (ranges, atomic units, order rules).
+ *
+ * The analyzer replays the stream through an epoch model of the
+ * memory-controller persist order:
+ *
+ *  - a store is *pending* until something drains it; a system-scope
+ *    fence in a fence-persisting domain drains its owner's pending
+ *    stores, a CPU range flush drains overlapping pending stores in
+ *    any domain, and under eADR every store is durable on arrival;
+ *  - every draining event opens a fresh *epoch* — an equivalence
+ *    class of "became durable at the same instant". Epochs are
+ *    totally ordered by stream position; the crash model can cut the
+ *    history between any two epochs, and can tear *within* one epoch
+ *    at 128 B granularity (PmPool::crash's sub-extent loop);
+ *  - a store still pending when the Crash event arrives was lost.
+ *
+ * Rules proved or refuted over that model:
+ *
+ *   unpersisted-store   a declared range holds stores that never
+ *                       became durable (epoch 0 at crash/trace end)
+ *   epoch-order         a declared "first persists before then" rule
+ *                       is violated: the commit record's epoch is not
+ *                       strictly (or weakly) after the data's
+ *   torn-update         one atomic_unit cell written by several
+ *                       stores of one launch landing in different
+ *                       epochs — a crash between them tears the cell
+ *   redundant-fence     fences that drained nothing (perf lint)
+ *   redundant-flush     CPU flushes that drained nothing (perf lint)
+ *   crash-unreachable   a declared range no crash-armed launch ever
+ *                       stores to — dead torture coverage
+ *
+ * Each correctness finding carries a *witness*: the minimal CrashSpec
+ * (crash_scheduler.hpp grammar) plus survive probability that should
+ * expose the bug dynamically. check_runner.hpp feeds witnesses back
+ * to the torture machinery to confirm them as real VIOLATIONs.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmem/pm_events.hpp"
+
+namespace gpm {
+
+enum class Severity : std::uint8_t { Info = 0, Warn = 1, Error = 2 };
+
+const char *severityName(Severity s);
+
+/** Parse "info" / "warn" / "error"; throws FatalError otherwise. */
+Severity parseSeverity(const std::string &name);
+
+enum class RuleId : std::uint8_t {
+    UnpersistedStore,
+    EpochOrder,
+    TornUpdate,
+    RedundantFence,
+    RedundantFlush,
+    CrashUnreachable,
+};
+
+/** Stable rule identifier, e.g. "unpersisted-store". */
+const char *ruleIdName(RuleId r);
+
+/** How a finding's dynamic witness fared (set by check_runner). */
+enum class WitnessStatus : std::uint8_t {
+    None,          ///< rule has no dynamic witness (lints)
+    Unconfirmed,   ///< witness proposed, replay not attempted
+    Confirmed,     ///< torture replay reproduced a VIOLATION
+    NotReproduced, ///< replay ran but stayed consistent
+};
+
+const char *witnessStatusName(WitnessStatus s);
+
+/** One analyzer finding, aggregated per (rule, range, kernel). */
+struct Finding {
+    RuleId rule = RuleId::UnpersistedStore;
+    Severity severity = Severity::Info;
+    std::string range;       ///< declared range label ("" if none)
+    std::string kernel;      ///< kernel provenance ("host" for CPU)
+    std::size_t count = 0;   ///< aggregated instance count
+    std::string detail;      ///< human-readable specifics
+
+    /** Dynamic witness: CrashSpec grammar + survival probability.
+     *  Empty witness_spec = not dynamically witnessable (the
+     *  offending event is outside the crash-armed launch, or the
+     *  rule is a lint). */
+    std::string witness_spec;
+    double witness_survive = 0.0;
+    WitnessStatus witness = WitnessStatus::None;
+};
+
+/** Everything the analyzer concluded about one trace. */
+struct AnalysisReport {
+    std::vector<Finding> findings;
+    std::uint64_t stream_hash = 0;  ///< recorder fingerprint analyzed
+    std::size_t events = 0;         ///< events in the trace
+    std::size_t stores = 0;         ///< Store events seen
+    std::size_t epochs = 0;         ///< persist epochs assigned
+
+    /** Findings at or above @p floor. */
+    std::size_t countAtLeast(Severity floor) const;
+
+    /** FNV fingerprint over every finding field the determinism
+     *  tests compare (witness status excluded: it depends on
+     *  whether confirmation ran, not on the trace). */
+    std::uint64_t findingsHash() const;
+};
+
+/** Run every rule over @p rec's trace and declarations. */
+AnalysisReport analyzePmTrace(const PmEventRecorder &rec);
+
+} // namespace gpm

@@ -78,7 +78,7 @@ CpuPmKvs::spillMemtable()
     std::vector<KvPair> run;
     run.reserve(memtable_.size());
     for (const auto &[k, v] : memtable_) {
-        run.push_back(KvPair{k, v});
+        run.emplace_back(k, v);
         spilled_[k] = v;
     }
     const double amplification =

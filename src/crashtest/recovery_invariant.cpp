@@ -67,6 +67,8 @@ runScenario(const DomainSetup &setup, std::uint64_t seed, Body &&body)
         // Scaled-down workloads: a small pool keeps the per-scenario
         // allocation cost from dominating thousand-cell sweeps.
         Machine m(cfg, setup.kind, 8_MiB, seed);
+        if (setup.recorder)
+            m.pool().setRecorder(setup.recorder);
         const CrashOutcome c = body(m);
         o.fired = c.fired;
         o.recovery_ran = c.recovery_ran;

@@ -34,11 +34,19 @@
 
 namespace gpm {
 
+class PmEventRecorder;
+
 /** Machine-level realisation of one PersistDomain under test. */
 struct DomainSetup {
     PersistDomain domain = PersistDomain::McDurable;
     PlatformKind kind = PlatformKind::Gpm;
     bool open_persist_window = true;
+
+    /** When non-null, attached to the scenario's PmPool before the
+     *  workload runs: gpmcheck captures the persistency event stream
+     *  this way. The default torture path leaves it null, so the
+     *  1200-scenario signature is untouched. */
+    PmEventRecorder *recorder = nullptr;
 };
 
 /** The sweep mapping described in the file header. */

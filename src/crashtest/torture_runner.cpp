@@ -66,11 +66,9 @@ TortureConfig::scenarioCount() const
            seeds.size() * survive_probs.size();
 }
 
-namespace {
-
 /** Apply the policy in the file header of torture_runner.hpp. */
 void
-classify(TortureResult &r)
+classifyScenario(TortureResult &r)
 {
     const TortureOutcome &o = r.outcome;
     const auto violation = [&](std::string why) {
@@ -101,8 +99,6 @@ classify(TortureResult &r)
     }
     r.cls = o.fired ? OutcomeClass::StrictOk : OutcomeClass::NotFired;
 }
-
-} // namespace
 
 std::size_t
 TortureReport::violations() const
@@ -205,7 +201,7 @@ runScenarioCell(SweepLane &lane, const TortureScenario &sc)
                              traced ? std::string_view(r.key())
                                     : std::string_view());
         r.outcome = inv->run(setup, point, sc.seed, sc.survive_prob);
-        classify(r);
+        classifyScenario(r);
         if (span.armed())
             span.arg("outcome", outcomeClassName(r.cls));
     }

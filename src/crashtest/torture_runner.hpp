@@ -119,6 +119,14 @@ struct TortureReport {
     Table summary() const;
 };
 
+/**
+ * Apply the classification policy from the file header to @p r
+ * (reads r.scenario + r.outcome, writes r.cls + r.detail). Exposed so
+ * gpmcheck's witness replay classifies single scenarios with exactly
+ * the torture matrix's policy.
+ */
+void classifyScenario(TortureResult &r);
+
 /** Deterministically sweeps a TortureConfig. */
 class TortureRunner
 {

@@ -5,6 +5,7 @@
 
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -66,6 +67,7 @@ GpmCheckpoint::create(Machine &m, const std::string &path,
 
     GpmCheckpoint cp(m, region, hdr);
     m.cpuWritePersist(region.offset, &hdr, sizeof(hdr), 1);
+    cp.declareDurableIntent(path);
     return cp;
 }
 
@@ -77,7 +79,33 @@ GpmCheckpoint::open(Machine &m, const std::string &path)
     m.pool().read(region.offset, &hdr, sizeof(hdr));
     GPM_REQUIRE(hdr.magic == kMagic, "'", path, "' is not a gpmcp file");
     m.advance(m.config().syscall_ns);
-    return GpmCheckpoint(m, region, hdr);
+    GpmCheckpoint cp(m, region, hdr);
+    cp.declareDurableIntent(path);
+    return cp;
+}
+
+/**
+ * gpmcheck intent: the double buffers hold data, the per-group meta
+ * records (valid index + sequence) are the commit points, and a
+ * checkpointed buffer must be strictly durable before the flip that
+ * publishes it — flip and copy sharing an epoch would let a crash
+ * publish a torn buffer.
+ */
+void
+GpmCheckpoint::declareDurableIntent(const std::string &path) const
+{
+    PmEventRecorder *rec = m_->pool().recorder();
+    if (!rec)
+        return;
+    rec->declareRange(path + ".bufs", dataOffset(),
+                      std::uint64_t(hdr_.groups) * 2 *
+                          hdr_.group_capacity,
+                      0, PmRangeKind::Data);
+    rec->declareRange(path + ".meta", metaOffset(),
+                      std::uint64_t(hdr_.groups) *
+                          sizeof(GpmCpGroupMeta),
+                      0, PmRangeKind::Commit);
+    rec->declareOrder(path + ".bufs", path + ".meta", /*strict=*/true);
 }
 
 void

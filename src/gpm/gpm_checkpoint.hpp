@@ -151,6 +151,8 @@ class GpmCheckpoint
                        std::uint64_t bytes);
     /** Host-side flip of the valid index (CAP paths). */
     void flipHost(std::uint32_t group);
+    /** Declare ranges + order to an attached gpmcheck recorder. */
+    void declareDurableIntent(const std::string &path) const;
 
     Machine *m_;
     PmRegion region_;

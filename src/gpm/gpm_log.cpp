@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -100,6 +101,32 @@ GpmLog::writeHeader(Machine &m)
     m.cpuWritePersist(region_.offset, &hdr_, sizeof(hdr_), 1);
 }
 
+/**
+ * Tell an attached gpmcheck recorder what this log means for
+ * durability: entries are data, tails are the commit sentinels, and
+ * insert()'s protocol requires every entry chunk to be *strictly*
+ * durable before the tail bump that publishes it — the same epoch
+ * would let a crash tear the entry while the bumped tail survives.
+ */
+void
+GpmLog::declareDurableIntent(const std::string &path) const
+{
+    PmEventRecorder *rec = m_->pool().recorder();
+    if (!rec)
+        return;
+    const std::uint64_t tails = tailsOffset();
+    const std::uint64_t tails_bytes =
+        hdr_.type == Hcl
+            ? std::uint64_t(hdr_.blocks) * hdr_.block_threads * 4
+            : std::uint64_t(hdr_.n_partitions) * 4;
+    rec->declareRange(path + ".entries", dataOffset(),
+                      tails - dataOffset(), 0, PmRangeKind::Data);
+    rec->declareRange(path + ".tails", tails, tails_bytes, 0,
+                      PmRangeKind::Commit);
+    rec->declareOrder(path + ".entries", path + ".tails",
+                      /*strict=*/true);
+}
+
 GpmLog
 GpmLog::createHcl(Machine &m, const std::string &path,
                   std::uint32_t entry_bytes,
@@ -127,6 +154,7 @@ GpmLog::createHcl(Machine &m, const std::string &path,
     PmRegion region = m.pool().map(path, bytes, /*create=*/true);
     GpmLog log(m, region, hdr);
     log.writeHeader(m);
+    log.declareDurableIntent(path);
     return log;
 }
 
@@ -149,6 +177,7 @@ GpmLog::createConv(Machine &m, const std::string &path,
     PmRegion region = m.pool().map(path, bytes, /*create=*/true);
     GpmLog log(m, region, hdr);
     log.writeHeader(m);
+    log.declareDurableIntent(path);
     return log;
 }
 
@@ -160,7 +189,9 @@ GpmLog::open(Machine &m, const std::string &path)
     m.pool().read(region.offset, &hdr, sizeof(hdr));
     GPM_REQUIRE(hdr.magic == kMagic, "'", path, "' is not a gpmlog");
     m.advance(m.config().syscall_ns);
-    return GpmLog(m, region, hdr);
+    GpmLog log(m, region, hdr);
+    log.declareDurableIntent(path);
+    return log;
 }
 
 void

@@ -160,6 +160,7 @@ class GpmLog
     std::uint64_t tailAddr(std::uint64_t gtid) const;
 
     void writeHeader(Machine &m);
+    void declareDurableIntent(const std::string &path) const;
 
     Machine *m_;
     PmRegion region_;

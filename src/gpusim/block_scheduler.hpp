@@ -174,6 +174,7 @@ struct ShadowOp {
     };
 
     Kind kind;
+    std::uint32_t phase;  ///< kernel phase that issued the op
     OwnerId owner;
     std::uint64_t addr;
     std::uint64_t size;
@@ -210,6 +211,7 @@ struct ExecLane {
 
     LaunchStats stats;    ///< the running block's accounting
     bool buffered = false;
+    std::uint32_t cur_phase = 0;  ///< phase tag for buffered shadow ops
 
     // Telemetry shard: plain per-lane counters bumped on the hot path
     // and folded into the session registry (or discarded) once per

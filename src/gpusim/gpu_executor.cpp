@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -28,8 +29,9 @@ ThreadCtx::pmWriteStream(std::uint64_t stream, std::uint64_t addr,
         // a later fence may have to drain exactly this value even if
         // the address is overwritten afterwards.
         exec_->pool_->requireRange(addr, size);
-        lane.ops.push_back(ShadowOp{ShadowOp::Kind::Write, globalId(),
-                                    addr, size, lane.payload.size()});
+        lane.ops.push_back(ShadowOp{ShadowOp::Kind::Write,
+                                    lane.cur_phase, globalId(), addr,
+                                    size, lane.payload.size()});
         const auto *p = static_cast<const std::uint8_t *>(src);
         lane.payload.insert(lane.payload.end(), p, p + size);
         lane.overlay.apply(addr, src, size);
@@ -67,8 +69,9 @@ ThreadCtx::threadfenceSystem()
         // persistOwner's return value depends only on the persistence
         // domain (fixed for the launch), so the buffered fence can
         // answer now and drain at replay.
-        lane.ops.push_back(
-            ShadowOp{ShadowOp::Kind::Fence, globalId(), 0, 0, 0});
+        lane.ops.push_back(ShadowOp{ShadowOp::Kind::Fence,
+                                    lane.cur_phase, globalId(), 0, 0,
+                                    0});
         return fenceIsPersist(exec_->pool_->domain());
     }
     exec_->noteFenceBefore(exec_->executed_);
@@ -163,6 +166,14 @@ GpuExecutor::runBlock(const KernelDesc &kernel, std::uint32_t block,
     }
 
     for (std::size_t p = 0; p < kernel.phases.size(); ++p) {
+        lane.cur_phase = static_cast<std::uint32_t>(p);
+        // Direct mode mutates the pool as it goes, so the recorder's
+        // phase context tracks the loop; buffered blocks tag their
+        // shadow ops instead and the replay re-establishes the phase.
+        if (!lane.buffered) {
+            if (PmEventRecorder *rec = pool_->recorder())
+                rec->setPhase(static_cast<std::uint32_t>(p));
+        }
         for (std::uint32_t t = 0; t < kernel.block_threads; ++t) {
             if (!lane.buffered && executed_ == crash_at)
                 throw KernelCrashed{executed_};
@@ -265,8 +276,11 @@ GpuExecutor::replayBlock(const BlockSlice &slice)
     if (rspan.armed())
         rspan.arg("ops",
                   std::uint64_t(slice.ops_end - slice.ops_begin));
+    PmEventRecorder *rec = pool_->recorder();
     for (std::size_t i = slice.ops_begin; i < slice.ops_end; ++i) {
         const ShadowOp &op = lane.ops[i];
+        if (rec)
+            rec->setPhase(op.phase);
         if (op.kind == ShadowOp::Kind::Write)
             pool_->deviceWrite(op.owner, op.addr,
                                lane.payload.data() + op.payload,
@@ -364,6 +378,22 @@ GpuExecutor::launch(const KernelDesc &kernel)
         GpuExecutor *e;
         ~ShardGuard() { e->mergeTelemetryShards(); }
     } shard_guard{this};
+
+    // Bracket the persistency event stream. The end marker rides a
+    // guard so a crash-point unwind still closes the launch scope.
+    PmEventRecorder *rec = pool_->recorder();
+    if (rec)
+        rec->launchBegin(kernel.name, kernel.blocks,
+                         kernel.block_threads,
+                         kernel.crash.has_value());
+    struct LaunchMarkGuard {
+        PmEventRecorder *rec;
+        ~LaunchMarkGuard()
+        {
+            if (rec)
+                rec->launchEnd();
+        }
+    } mark_guard{rec};
 
     // Crash-armed launches always take the sequential path: CrashPoint
     // ordinals are defined over the block-sequential event order.

@@ -159,7 +159,7 @@ class SweepPool
                     first = std::current_exception();
                     break;
                 }
-                errors.push_back({i, describeCurrentException()});
+                errors.emplace_back(i, describeCurrentException());
             }
         }
         detail::SweepAccess::fold(lane);
@@ -200,7 +200,7 @@ class SweepPool
                 } else {
                     std::string what = describeCurrentException();
                     std::lock_guard<std::mutex> lock(m_);
-                    errors_.push_back({i, std::move(what)});
+                    errors_.emplace_back(i, std::move(what));
                 }
             }
         }

@@ -4,9 +4,28 @@
 #include <cstring>
 #include <fstream>
 
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
+
+void
+PmPool::setDomain(PersistDomain d)
+{
+    domain_ = d;
+    if (recorder_)
+        recorder_->domainSet(d);
+}
+
+void
+PmPool::setRecorder(PmEventRecorder *rec)
+{
+    recorder_ = rec;
+    // Seed the stream with the domain in effect at attach time so the
+    // analyzer never has to guess the initial state.
+    if (recorder_)
+        recorder_->domainSet(domain_);
+}
 
 PmPool::PmPool(std::size_t capacity, PersistDomain domain,
                std::uint64_t seed)
@@ -66,6 +85,8 @@ PmPool::writeCommon(OwnerId owner, std::uint64_t addr, const void *src,
                     std::uint64_t size)
 {
     checkRange(addr, size);
+    if (recorder_)
+        recorder_->store(domain_, owner, addr, size);
     std::memcpy(visible_.data() + addr, src, size);
     if (domain_ == PersistDomain::LlcDurable) {
         // eADR: the LLC is inside the persistence domain.
@@ -115,6 +136,8 @@ void
 PmPool::read(std::uint64_t addr, void *dst, std::uint64_t size) const
 {
     checkRange(addr, size);
+    if (recorder_ && recorder_->inRecovery())
+        recorder_->recoveryRead(domain_, addr, size);
     std::memcpy(dst, visible_.data() + addr, size);
 }
 
@@ -132,18 +155,27 @@ PmPool::persistOwner(OwnerId owner)
     switch (domain_) {
       case PersistDomain::LlcVolatile:
         // The fence completes at the volatile LLC: ordering only.
+        if (recorder_)
+            recorder_->fence(domain_, owner, 0);
         return false;
       case PersistDomain::LlcDurable:
+        if (recorder_)
+            recorder_->fence(domain_, owner, 0);
         return true;
       case PersistDomain::McDurable:
         break;
     }
+    std::uint64_t drained = 0;
     auto it = pending_.find(owner);
     if (it != pending_.end()) {
-        for (const Extent &e : it->second)
+        for (const Extent &e : it->second) {
             drain(e);
+            drained += e.size;
+        }
         pending_.erase(it);
     }
+    if (recorder_)
+        recorder_->fence(domain_, owner, drained);
     return true;
 }
 
@@ -152,27 +184,38 @@ PmPool::persistRange(std::uint64_t addr, std::uint64_t size)
 {
     checkRange(addr, size);
     const std::uint64_t lo = addr, hi = addr + size;
+    std::uint64_t drained = 0;
     for (auto it = pending_.begin(); it != pending_.end();) {
         auto &extents = it->second;
         std::size_t kept = 0;
         for (Extent &e : extents) {
-            if (e.addr < hi && e.addr + e.size > lo)
+            if (e.addr < hi && e.addr + e.size > lo) {
                 drain(e);
-            else
+                drained += e.size;
+            } else {
                 extents[kept++] = e;
+            }
         }
         extents.resize(kept);
         it = extents.empty() ? pending_.erase(it) : std::next(it);
     }
+    if (recorder_)
+        recorder_->flushRange(domain_, addr, size, drained);
 }
 
 void
 PmPool::persistAll()
 {
-    for (const auto &[owner, extents] : pending_)
-        for (const Extent &e : extents)
+    std::uint64_t drained = 0;
+    for (const auto &[owner, extents] : pending_) {
+        for (const Extent &e : extents) {
             drain(e);
+            drained += e.size;
+        }
+    }
     pending_.clear();
+    if (recorder_)
+        recorder_->persistAll(domain_, drained);
 }
 
 void
@@ -217,6 +260,9 @@ PmPool::crash(double survive_prob)
     }
     // Post-reboot: only durable contents remain visible.
     visible_ = durable_;
+    if (recorder_)
+        recorder_->crash(domain_, survive_prob,
+                         stats_.crash_survivors - survivors_before);
     if (span.armed())
         span.arg("surviving_lines",
                  stats_.crash_survivors - survivors_before);

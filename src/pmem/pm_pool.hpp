@@ -44,6 +44,8 @@
 
 namespace gpm {
 
+class PmEventRecorder;
+
 /**
  * Zero-initialized byte image backed by calloc.
  *
@@ -152,7 +154,21 @@ class PmPool
     PersistDomain domain() const { return domain_; }
 
     /** Change the persistence domain (gpm_persist_begin/end toggling). */
-    void setDomain(PersistDomain d) { domain_ = d; }
+    void setDomain(PersistDomain d);
+
+    // ---- persistency event stream (gpmcheck) ---------------------------
+
+    /**
+     * Attach (or detach, with nullptr) a persistency event recorder.
+     * Every durability-relevant pool action is then recorded with its
+     * current-domain context; the default null pointer keeps the hot
+     * paths at a single pointer test (telemetry-style disabled path).
+     * The recorder must outlive the pool or be detached first.
+     */
+    void setRecorder(PmEventRecorder *rec);
+
+    /** The attached recorder, or nullptr. */
+    PmEventRecorder *recorder() const { return recorder_; }
 
     // ---- region registry (gpm_map substrate) ---------------------------
 
@@ -310,6 +326,7 @@ class PmPool
 
     PmImage visible_;
     PmImage durable_;
+    PmEventRecorder *recorder_ = nullptr;
     // std::map for deterministic crash-survival iteration order.
     std::map<OwnerId, std::vector<Extent>> pending_;
     std::map<std::string, PmRegion> regions_;

@@ -109,7 +109,7 @@ JsonWriter::beginObject()
 {
     beforeValue();
     *os_ << '{';
-    stack_.push_back(Level{false, true});
+    stack_.emplace_back(false, true);
 }
 
 void
@@ -132,7 +132,7 @@ JsonWriter::beginArray()
 {
     beforeValue();
     *os_ << '[';
-    stack_.push_back(Level{true, true});
+    stack_.emplace_back(true, true);
 }
 
 void

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -91,6 +92,18 @@ GpDb::setup()
     table_ = gpmMap(*m_, "gpdb.table",
                     p_.tableBytes() + p_.cap_chunk_bytes, true);
     meta_ = gpmMap(*m_, "gpdb.meta", 256, true);
+
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        // A row is the atomic unit; the durable row count (and, for
+        // UPDATE batches, the txn flag) is the commit record that must
+        // trail the rows it covers.
+        rec->declareRange("gpdb.table", table_.offset,
+                          p_.tableBytes() + p_.cap_chunk_bytes,
+                          GpDbParams::kRowBytes, PmRangeKind::Data);
+        rec->declareRange("gpdb.meta", meta_.offset, 16, 0,
+                          PmRangeKind::Commit);
+        rec->declareOrder("gpdb.table", "gpdb.meta", /*strict=*/false);
+    }
 
     // Bulk-load the initial rows (setup; persisted from the CPU).
     mirror_.assign(p_.maxRows(), DbRow{});
@@ -457,6 +470,7 @@ GpDb::recoverUpdate()
 {
     telemetry::Span span("recovery", "gpdb_recover");
     telemetry::count("recovery.invocations");
+    PmRecoveryScope rscope(m_->pool().recorder());
     const std::uint32_t crashed_batch =
         m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
     const std::uint32_t tpb = 256;

@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmem/pm_events.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpm {
@@ -95,6 +96,17 @@ GpKvs::setup()
 {
     store_ = gpmMap(*m_, "gpkvs.data", p_.storeBytes(), /*create=*/true);
     meta_ = gpmMap(*m_, "gpkvs.meta", 256, /*create=*/true);
+
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        // Each KvPair is the atomic unit: a torn half-slot (key
+        // without value) is exactly what the per-thread undo protects
+        // against, so gpmcheck may assume slot-granular recovery.
+        rec->declareRange("gpkvs.data", store_.offset, p_.storeBytes(),
+                          sizeof(KvPair), PmRangeKind::Data);
+        rec->declareRange("gpkvs.meta", meta_.offset, 8, 0,
+                          PmRangeKind::Commit);
+        rec->declareOrder("gpkvs.data", "gpkvs.meta", /*strict=*/false);
+    }
 
     const std::uint64_t threads =
         std::uint64_t(p_.batch_ops) * GpKvsParams::kGroup;
@@ -395,6 +407,7 @@ GpKvs::recover()
 {
     telemetry::Span span("recovery", "gpkvs_recover");
     telemetry::count("recovery.invocations");
+    PmRecoveryScope rscope(m_->pool().recorder());
     const std::uint32_t crashed_batch =
         m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
 

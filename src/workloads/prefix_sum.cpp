@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmem/pm_events.hpp"
 
 namespace gpm {
 
@@ -35,6 +36,16 @@ GpPrefixSum::setup()
         std::uint64_t(p_.blocks) * p_.block_threads;
     psums_ = gpmMap(*m_, "ps.psums", threads * 8, true);
     out_ = gpmMap(*m_, "ps.out", p_.elements() * 8, true);
+
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        // Recovery is recompute-with-skip: no commit record, no order
+        // rule. Each 8 B sum is atomic (a torn sentinel would fake a
+        // completed block).
+        rec->declareRange("ps.psums", psums_.offset, threads * 8, 8,
+                          PmRangeKind::Data);
+        rec->declareRange("ps.out", out_.offset, p_.elements() * 8, 8,
+                          PmRangeKind::Data);
+    }
 
     Rng rng(p_.seed);
     input_.resize(p_.elements());
@@ -281,9 +292,12 @@ GpPrefixSum::runWithCrash(double frac, double survive_prob)
     // 5.4). Then finish.
     WorkloadResult r;
     const SimNs r0 = m_->now();
-    blocks_skipped_ = 0;
-    partialSumsKernel(std::nullopt);
-    finalKernel();
+    {
+        PmRecoveryScope rscope(m_->pool().recorder());
+        blocks_skipped_ = 0;
+        partialSumsKernel(std::nullopt);
+        finalKernel();
+    }
     r.recovery_ns = m_->now() - r0;
     r.op_ns = r.recovery_ns;
 
@@ -324,9 +338,12 @@ GpPrefixSum::runCrashPoint(const CrashPoint &point, double survive_prob,
     // check skips completed blocks, everything else recomputes.
     if (!window && m_->kind() == PlatformKind::Gpm)
         gpmPersistBegin(*m_);
-    blocks_skipped_ = 0;
-    partialSumsKernel(std::nullopt);
-    finalKernel();
+    {
+        PmRecoveryScope rscope(m_->pool().recorder());
+        blocks_skipped_ = 0;
+        partialSumsKernel(std::nullopt);
+        finalKernel();
+    }
     o.recovery_ran = true;
 
     const std::vector<std::uint64_t> ref = referencePrefix();

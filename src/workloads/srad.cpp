@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmem/pm_events.hpp"
 
 namespace gpm {
 
@@ -54,6 +55,20 @@ GpSrad::setup()
     img_ = gpmMap(*m_, "srad.img", 8 + n * 8, true);
     coef_ = gpmMap(*m_, "srad.coef", 8 + n * 4, true);
     meta_ = gpmMap(*m_, "srad.meta", 64, true);
+
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        // The iteration counter is the commit record: once it says
+        // pass N committed, both buffers N touched must be durable —
+        // strictly earlier, since the flip is a separate 1x1 launch.
+        rec->declareRange("srad.img", img_.offset, 8 + n * 8, 4,
+                          PmRangeKind::Data);
+        rec->declareRange("srad.coef", coef_.offset, 8 + n * 4, 4,
+                          PmRangeKind::Data);
+        rec->declareRange("srad.meta", meta_.offset, 4, 0,
+                          PmRangeKind::Commit);
+        rec->declareOrder("srad.img", "srad.meta", /*strict=*/true);
+        rec->declareOrder("srad.coef", "srad.meta", /*strict=*/true);
+    }
 
     host_img_ = sradMakeInput(p_);
     host_coef_.assign(n, 0.0f);
@@ -285,11 +300,14 @@ GpSrad::runWithCrash(std::uint32_t crash_iter, double survive_prob)
     // committed; reload that pass's durable image and resume.
     WorkloadResult r;
     const SimNs r0 = m_->now();
-    const std::uint32_t done =
-        m_->pool().load<std::uint32_t>(meta_.offset);
     const std::uint64_t n = p_.pixels();
-    host_img_.assign(n, 0.0f);
-    m_->pool().read(imgAddr(done % 2, 0), host_img_.data(), n * 4);
+    std::uint32_t done = 0;
+    {
+        PmRecoveryScope rscope(m_->pool().recorder());
+        done = m_->pool().load<std::uint32_t>(meta_.offset);
+        host_img_.assign(n, 0.0f);
+        m_->pool().read(imgAddr(done % 2, 0), host_img_.data(), n * 4);
+    }
     m_->cpuPmRead(n * 4, p_.cap_threads);
     r.recovery_ns = m_->now() - r0;
 
@@ -333,11 +351,14 @@ GpSrad::runCrashPoint(std::uint32_t crash_iter, const CrashPoint &point,
     const bool reopen = !window && m_->kind() == PlatformKind::Gpm;
     if (reopen)
         gpmPersistBegin(*m_);
-    const std::uint32_t done =
-        m_->pool().load<std::uint32_t>(meta_.offset);
     const std::uint64_t n = p_.pixels();
-    host_img_.assign(n, 0.0f);
-    m_->pool().read(imgAddr(done % 2, 0), host_img_.data(), n * 4);
+    std::uint32_t done = 0;
+    {
+        PmRecoveryScope rscope(m_->pool().recorder());
+        done = m_->pool().load<std::uint32_t>(meta_.offset);
+        host_img_.assign(n, 0.0f);
+        m_->pool().read(imgAddr(done % 2, 0), host_img_.data(), n * 4);
+    }
     m_->cpuPmRead(n * 4, p_.cap_threads);
     for (std::uint32_t iter = done; iter < p_.iterations; ++iter)
         runIteration(iter, std::nullopt);

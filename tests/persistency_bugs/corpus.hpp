@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The persistency-bug corpus: deliberately broken kernel variants
+ * that gpmcheck must flag, each paired with a "-fixed" twin it must
+ * pass clean.
+ *
+ * Every corpus entry is a RecoveryInvariant, so the same machinery
+ * that tortures the real workloads captures its trace (check_runner)
+ * and replays its finding witnesses (confirmWitness). The corpus has
+ * its own registry — it is deliberately NOT part of
+ * registeredInvariants(), so the production torture signature never
+ * sees these kernels.
+ *
+ * Seeded bugs (expected rule in parentheses):
+ *
+ *   drop-fence        log append bumps the tail with no fence after
+ *                     the entry body: one fence seals entry + tail in
+ *                     the same persist epoch       (epoch-order, tied)
+ *   reorder-flip      checkpoint flips the generation sentinel in the
+ *                     phase *before* the data copy (epoch-order,
+ *                     commit-before-data)
+ *   coalesced-tail    record tail abuts its payload, so the pool
+ *                     coalesces both into one extent sealed by one
+ *                     fence                        (epoch-order, tied)
+ *   torn-value        a 16 B KVS value written as two 8 B stores with
+ *                     a fence in between           (torn-update)
+ *   double-flush      host flushes a range that is already durable
+ *                                                  (redundant-flush)
+ *   host-only-commit  a declared commit range no crash-armed launch
+ *                     ever stores to               (crash-unreachable)
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crashtest/recovery_invariant.hpp"
+
+namespace gpm {
+
+/** Every corpus entry name, broken variant first, then its twin. */
+std::vector<std::string> registeredBugs();
+
+/** Instantiate a corpus entry; throws FatalError on unknown names. */
+std::unique_ptr<RecoveryInvariant> makeBugInvariant(
+    const std::string &name);
+
+} // namespace gpm

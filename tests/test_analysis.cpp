@@ -1,0 +1,352 @@
+/**
+ * @file
+ * gpmcheck analyzer tests: each rule proved on a hand-built event
+ * stream, plus the determinism contract — the clean-grid report is
+ * bit-identical at any sweep worker count and with telemetry on or
+ * off, and attaching a recorder never changes workload behavior.
+ */
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/check_runner.hpp"
+#include "crashtest/recovery_invariant.hpp"
+#include "pmem/pm_events.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace gpm {
+namespace {
+
+constexpr PersistDomain kMc = PersistDomain::McDurable;
+
+const Finding *
+findRule(const AnalysisReport &rep, RuleId rule)
+{
+    for (const Finding &f : rep.findings)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+TEST(Analyzer, UnpersistedStoreLostAtCrash)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.data", 0, 256, 0, PmRangeKind::Data);
+    rec.launchBegin("k", 1, 32, /*armed=*/true);
+    rec.store(kMc, 7, 0, 64);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::UnpersistedStore);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->range, "r.data");
+    EXPECT_EQ(f->kernel, "k");
+    EXPECT_EQ(f->witness_spec, "after-store:1");
+    EXPECT_NE(f->detail.find("lost at crash"), std::string::npos);
+}
+
+TEST(Analyzer, UnpersistedStoreIsInfoUnderLlcVolatile)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.data", 0, 256, 0, PmRangeKind::Data);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(PersistDomain::LlcVolatile, 7, 0, 64);
+    // The DDIO trap: the fence orders but persists nothing.
+    rec.fence(PersistDomain::LlcVolatile, 7, 0);
+    rec.launchEnd();
+    rec.crash(PersistDomain::LlcVolatile, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::UnpersistedStore);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Info);
+    EXPECT_EQ(rep.countAtLeast(Severity::Warn), 0u);
+}
+
+TEST(Analyzer, EpochOrderOutOfOrderCommit)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.data", 0, 128, 0, PmRangeKind::Data);
+    rec.declareRange("r.meta", 128, 8, 0, PmRangeKind::Commit);
+    rec.declareOrder("r.data", "r.meta", /*strict=*/false);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 1, 0, 64);    // data, pending
+    rec.store(kMc, 2, 128, 8);   // commit record
+    rec.fence(kMc, 2, 8);        // commit durable first (epoch 1)
+    rec.fence(kMc, 1, 64);       // data second (epoch 2)
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::EpochOrder);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->range, "r.meta");
+    EXPECT_NE(f->detail.find("out-of-order"), std::string::npos);
+    EXPECT_EQ(f->witness_spec, "after-fence:1");
+    EXPECT_EQ(f->witness_survive, 0.0);
+}
+
+TEST(Analyzer, EpochOrderStrictFlagsSameEpochSeal)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.entry", 0, 512, 0, PmRangeKind::Data);
+    rec.declareRange("r.tail", 512, 8, 0, PmRangeKind::Commit);
+    rec.declareOrder("r.entry", "r.tail", /*strict=*/true);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 1, 0, 512);
+    rec.store(kMc, 1, 512, 8);
+    rec.fence(kMc, 1, 520);  // one fence seals entry + tail
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::EpochOrder);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->detail.find("same-epoch"), std::string::npos);
+    // Witness: tear the merged epoch just before the sealing fence.
+    EXPECT_EQ(f->witness_spec, "before-fence:1");
+    EXPECT_EQ(f->witness_survive, 0.5);
+}
+
+TEST(Analyzer, EpochOrderWeakRuleAllowsSameEpoch)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.entry", 0, 512, 0, PmRangeKind::Data);
+    rec.declareRange("r.tail", 512, 8, 0, PmRangeKind::Commit);
+    rec.declareOrder("r.entry", "r.tail", /*strict=*/false);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 1, 0, 512);
+    rec.store(kMc, 1, 512, 8);
+    rec.fence(kMc, 1, 520);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    EXPECT_EQ(findRule(analyzePmTrace(rec), RuleId::EpochOrder),
+              nullptr);
+}
+
+TEST(Analyzer, EpochOrderCommitBeforeData)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.data", 0, 128, 0, PmRangeKind::Data);
+    rec.declareRange("r.meta", 128, 8, 0, PmRangeKind::Commit);
+    rec.declareOrder("r.data", "r.meta", /*strict=*/true);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 5, 128, 8);  // the flip, first
+    rec.fence(kMc, 5, 8);       // durable before its data exists
+    rec.store(kMc, 5, 0, 64);   // the data it claims
+    rec.fence(kMc, 5, 64);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::EpochOrder);
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->detail.find("commit-before-data"), std::string::npos);
+    EXPECT_EQ(f->witness_spec, "after-fence:1");
+}
+
+TEST(Analyzer, EpochOrderHoldsUnderEadr)
+{
+    // Same stream shape as the same-epoch seal, but under eADR every
+    // store is durable on arrival in its own epoch — program order
+    // is persist order, so even the strict rule passes.
+    PmEventRecorder rec;
+    rec.declareRange("r.entry", 0, 512, 0, PmRangeKind::Data);
+    rec.declareRange("r.tail", 512, 8, 0, PmRangeKind::Commit);
+    rec.declareOrder("r.entry", "r.tail", /*strict=*/true);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(PersistDomain::LlcDurable, 1, 0, 512);
+    rec.store(PersistDomain::LlcDurable, 1, 512, 8);
+    rec.launchEnd();
+    rec.crash(PersistDomain::LlcDurable, 0.0, 520);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    EXPECT_EQ(findRule(rep, RuleId::EpochOrder), nullptr);
+    EXPECT_EQ(findRule(rep, RuleId::UnpersistedStore), nullptr);
+}
+
+TEST(Analyzer, TornUpdateAcrossEpochs)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.slots", 0, 64, /*atomic_unit=*/16,
+                     PmRangeKind::Data);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 3, 0, 8);  // key half of cell 0
+    rec.fence(kMc, 3, 8);
+    rec.store(kMc, 3, 8, 8);  // value half, later epoch
+    rec.fence(kMc, 3, 8);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::TornUpdate);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Error);
+    EXPECT_EQ(f->range, "r.slots");
+    EXPECT_EQ(f->witness_spec, "after-fence:1");
+}
+
+TEST(Analyzer, TornUpdateQuietWhenCellSealsAtomically)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.slots", 0, 64, 16, PmRangeKind::Data);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 3, 0, 8);
+    rec.store(kMc, 3, 8, 8);
+    rec.fence(kMc, 3, 16);  // both halves in one epoch
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    EXPECT_EQ(findRule(analyzePmTrace(rec), RuleId::TornUpdate),
+              nullptr);
+}
+
+TEST(Analyzer, RedundantFenceAndFlushLints)
+{
+    PmEventRecorder rec;
+    rec.launchBegin("k", 1, 32, false);
+    rec.store(kMc, 2, 0, 64);
+    rec.fence(kMc, 2, 64);  // useful
+    rec.fence(kMc, 2, 0);   // drains nothing: lint
+    rec.launchEnd();
+    rec.flushRange(kMc, 0, 64, 0);  // already durable: lint
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *fence = findRule(rep, RuleId::RedundantFence);
+    ASSERT_NE(fence, nullptr);
+    EXPECT_EQ(fence->severity, Severity::Info);
+    EXPECT_EQ(fence->count, 1u);
+    const Finding *flush = findRule(rep, RuleId::RedundantFlush);
+    ASSERT_NE(flush, nullptr);
+    EXPECT_EQ(flush->severity, Severity::Warn);
+}
+
+TEST(Analyzer, RedundantFlushNotFlaggedUnderEadr)
+{
+    // Under eADR every flush is a no-op by design; flagging them
+    // would indict the platform, not the workload.
+    PmEventRecorder rec;
+    rec.flushRange(PersistDomain::LlcDurable, 0, 64, 0);
+    EXPECT_EQ(findRule(analyzePmTrace(rec), RuleId::RedundantFlush),
+              nullptr);
+}
+
+TEST(Analyzer, CrashUnreachableRange)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.shadow", 0, 128, 0, PmRangeKind::Commit);
+    // Host writes it durably, but no crash-armed launch ever does.
+    rec.store(kMc, OwnerId(1) << 62, 0, 8);
+    rec.flushRange(kMc, 0, 8, 8);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 1, 512, 8);
+    rec.fence(kMc, 1, 8);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::CrashUnreachable);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->severity, Severity::Info);
+    EXPECT_EQ(f->range, "r.shadow");
+}
+
+TEST(Analyzer, FindingsAggregatePerRuleRangeKernel)
+{
+    PmEventRecorder rec;
+    rec.declareRange("r.data", 0, 256, 0, PmRangeKind::Data);
+    rec.launchBegin("k", 1, 32, true);
+    rec.store(kMc, 1, 0, 8);
+    rec.store(kMc, 2, 8, 8);
+    rec.store(kMc, 3, 16, 8);
+    rec.launchEnd();
+    rec.crash(kMc, 0.0, 0);
+
+    const AnalysisReport rep = analyzePmTrace(rec);
+    const Finding *f = findRule(rep, RuleId::UnpersistedStore);
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->count, 3u);
+    // One row, not three.
+    std::size_t rows = 0;
+    for (const Finding &x : rep.findings)
+        if (x.rule == RuleId::UnpersistedStore)
+            ++rows;
+    EXPECT_EQ(rows, 1u);
+}
+
+// ---- determinism contract ---------------------------------------------
+
+TEST(CheckRunner, ReportIsIdenticalAtAnyJobCount)
+{
+    std::uint64_t ref = 0;
+    for (const int jobs : {1, 2, 4, 8}) {
+        CheckConfig cfg;
+        cfg.jobs = jobs;
+        const CheckReport rep = runCheck(cfg);
+        ASSERT_EQ(rep.cells.size(), 15u) << "5 workloads x 3 domains";
+        for (const CheckCell &c : rep.cells)
+            EXPECT_EQ(c.error, "") << c.scenario.key();
+        if (jobs == 1)
+            ref = rep.signature();
+        else
+            EXPECT_EQ(rep.signature(), ref) << "--jobs " << jobs;
+    }
+}
+
+TEST(CheckRunner, ReportIsIdenticalWithTelemetryAttached)
+{
+    CheckConfig cfg;
+    cfg.workloads = {"kvs", "prefix-sum"};
+    cfg.jobs = 2;
+    const std::uint64_t bare = runCheck(cfg).signature();
+    telemetry::ScopedSession session;
+    EXPECT_EQ(runCheck(cfg).signature(), bare);
+}
+
+TEST(CheckRunner, AttachedRecorderDoesNotChangeOutcomes)
+{
+    // The hooks must be pure observation: same strict verdict and
+    // durable-state hash with and without a recorder attached.
+    for (const std::string &name : registeredInvariants()) {
+        const CrashPoint never = CrashPoint::afterThreadPhases(
+            std::numeric_limits<std::uint64_t>::max());
+        DomainSetup plain = domainSetupFor(kMc);
+        const TortureOutcome a =
+            makeInvariant(name)->run(plain, never, 1, 0.0);
+
+        PmEventRecorder rec;
+        DomainSetup hooked = domainSetupFor(kMc);
+        hooked.recorder = &rec;
+        const TortureOutcome b =
+            makeInvariant(name)->run(hooked, never, 1, 0.0);
+
+        EXPECT_EQ(a.error, b.error) << name;
+        EXPECT_EQ(a.strict_ok, b.strict_ok) << name;
+        EXPECT_EQ(a.state_hash, b.state_hash) << name;
+        EXPECT_FALSE(rec.events().empty()) << name;
+    }
+}
+
+TEST(CheckRunner, CleanGridHasNoWarnOrErrorFindings)
+{
+    // The acceptance bar: every clean workload x domain cell analyzes
+    // to zero findings at or above warn. Info-class notes (DDIO-trap
+    // hazards under llc-volatile, host-only ranges) are expected.
+    CheckConfig cfg;
+    cfg.jobs = 4;
+    const CheckReport rep = runCheck(cfg);
+    for (const CheckCell &c : rep.cells) {
+        EXPECT_EQ(c.error, "") << c.scenario.key();
+        EXPECT_EQ(c.report.countAtLeast(Severity::Warn), 0u)
+            << c.scenario.key();
+    }
+}
+
+} // namespace
+} // namespace gpm
