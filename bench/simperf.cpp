@@ -23,6 +23,12 @@
  *     at every width via TortureConfig::jobs; the FNV signature folds
  *     canonical-order slots and must match bitwise across widths
  *     (enforced below).
+ *  4. crash-armed: the same bounded matrix at jobs=1 with the
+ *     *in-scenario* width swept via TortureConfig::exec_workers =
+ *     1/2/4/8 — the parallel crash-armed engine (DESIGN.md decision
+ *     #8). The signature must match the crash-matrix stage's bitwise
+ *     at every width (enforced below); the speedup lands in the perf
+ *     envelope.
  *
  * --smoke shrinks every stage to a seconds-scale CI gate; the JSON
  * shape is identical so downstream tooling never branches.
@@ -195,6 +201,27 @@ main(int argc, char **argv)
                     ": ", hex(r.signature()), " vs ", hex(ref_sig));
     }
 
+    // Stage 4: the same matrix with in-scenario parallelism instead —
+    // crash-armed launches fan out across exec_workers and must still
+    // land on the stage-3 signature bit for bit.
+    for (const unsigned workers : widths) {
+        TortureConfig acfg = crashMatrixConfig(smoke);
+        acfg.jobs = 1;
+        acfg.exec_workers = static_cast<int>(workers);
+        const auto t0 = Clock::now();
+        const TortureReport r = TortureRunner::run(acfg);
+        rows.push_back({"crash-armed", workers, r.results.size(),
+                        secondsSince(t0)});
+        GPM_REQUIRE(r.violations() == 0,
+                    "crash-armed matrix reported violations at "
+                    "exec_workers=",
+                    workers);
+        GPM_REQUIRE(r.signature() == ref_sig,
+                    "crash-armed signature diverged at exec_workers=",
+                    workers, ": ", hex(r.signature()), " vs ",
+                    hex(ref_sig));
+    }
+
     // ---- report ---------------------------------------------------------
     Table table({"Stage", "Jobs", "Units", "Wall (s)", "Units/s"});
     for (const StageRow &r : rows)
@@ -244,6 +271,26 @@ main(int argc, char **argv)
         w.field("signature", hex(treport.signature()));
         w.field("bit_identical_widths",
                 std::uint64_t(widths.size()));
+        w.endObject();
+        w.key("crash_armed");
+        w.beginObject();
+        {
+            double armed_base = 0.0, armed_best = 0.0;
+            for (const StageRow &r : rows) {
+                if (r.stage != "crash-armed")
+                    continue;
+                if (r.jobs == 1)
+                    armed_base = r.wall_s;
+                if (armed_best == 0.0 || r.wall_s < armed_best)
+                    armed_best = r.wall_s;
+            }
+            w.field("scenarios", std::uint64_t(treport.results.size()));
+            w.field("signature", hex(ref_sig));
+            w.field("bit_identical_widths",
+                    std::uint64_t(widths.size()));
+            w.field("best_speedup",
+                    armed_best > 0 ? armed_base / armed_best : 0.0);
+        }
         w.endObject();
         w.field("fig9_best_speedup", best > 0 ? base / best : 0.0);
         w.endObject();

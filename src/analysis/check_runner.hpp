@@ -50,6 +50,13 @@ struct CheckConfig {
     std::vector<std::string> workloads;   ///< default: all registered
     std::vector<PersistDomain> domains;   ///< default: all three
     int jobs = 1;                         ///< sweep workers (0 = auto)
+
+    /** In-scenario executor width for every cell's Machine (and for
+     *  witness-replay scenarios). The recorder stream, findings and
+     *  signature are bit-identical at any width (DESIGN.md decisions
+     *  #7/#8) — the corpus cross-check pins this. */
+    int exec_workers = 1;
+
     std::uint64_t seed = 1;               ///< trace-capture seed
     bool confirm_witnesses = false;       ///< replay witnesses
     Severity confirm_floor = Severity::Warn;  ///< replay at/above
@@ -105,6 +112,7 @@ CheckReport runCheck(const CheckConfig &cfg);
 WitnessStatus confirmWitness(
     const Finding &finding, const CheckScenario &scenario,
     const std::function<std::unique_ptr<RecoveryInvariant>(
-        const std::string &)> &factory);
+        const std::string &)> &factory,
+    int exec_workers = 1);
 
 } // namespace gpm

@@ -60,6 +60,19 @@ CrashGrid::defaults()
     return g;
 }
 
+CrashGrid
+CrashGrid::fine()
+{
+    CrashGrid g;
+    // 0.05 steps, computed as n/20 so the labels ("frac:0.35") round
+    // exactly and the grid is reproducible from its printed form.
+    for (int n = 1; n <= 19; ++n)
+        g.fractions.push_back(static_cast<double>(n) / 20.0);
+    g.fence_counts = {1, 2, 3};
+    g.store_counts = {1, 2, 3, 5, 8};
+    return g;
+}
+
 std::vector<CrashSpec>
 CrashScheduler::enumerate(const CrashGrid &grid)
 {

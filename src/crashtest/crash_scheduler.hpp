@@ -66,6 +66,16 @@ struct CrashGrid {
      * and an early store. 8 specs.
      */
     static CrashGrid defaults();
+
+    /**
+     * Scale grid for 10k+ scenario sweeps (gpmtorture --scale): every
+     * 5% thread-phase fraction, the first three fences (both sides)
+     * and five store ordinals. 30 specs; with the default workload,
+     * domain, seed and survival axes widened to 12 seeds this yields
+     * 10800 scenarios. Parallel crash-armed execution (decision #8) is
+     * what makes this tractable as a standing oracle.
+     */
+    static CrashGrid fine();
 };
 
 /** Enumerates and parses crash specs. */

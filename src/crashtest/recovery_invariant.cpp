@@ -64,6 +64,7 @@ runScenario(const DomainSetup &setup, std::uint64_t seed, Body &&body)
     TortureOutcome o;
     try {
         SimConfig cfg;
+        cfg.exec_workers = setup.exec_workers;
         // Scaled-down workloads: a small pool keeps the per-scenario
         // allocation cost from dominating thousand-cell sweeps.
         Machine m(cfg, setup.kind, 8_MiB, seed);

@@ -47,6 +47,13 @@ struct DomainSetup {
      *  this way. The default torture path leaves it null, so the
      *  1200-scenario signature is untouched. */
     PmEventRecorder *recorder = nullptr;
+
+    /** In-scenario executor width (SimConfig::exec_workers) for the
+     *  scenario's Machine. Every observable — durable image, stats,
+     *  tier bytes, the signature — is bit-identical at any width
+     *  (DESIGN.md decisions #7/#8), so this knob only trades host
+     *  threads for in-scenario wall-clock. */
+    int exec_workers = 1;
 };
 
 /** The sweep mapping described in the file header. */

@@ -190,7 +190,8 @@ runScenarioCell(SweepLane &lane, const TortureScenario &sc)
     r.scenario = sc;
     const std::unique_ptr<RecoveryInvariant> inv =
         makeInvariant(sc.workload);
-    const DomainSetup setup = domainSetupFor(sc.domain);
+    DomainSetup setup = domainSetupFor(sc.domain);
+    setup.exec_workers = sc.exec_workers;
     const CrashPoint point =
         sc.spec.materialize(inv->doomedThreadPhases());
     {
@@ -223,8 +224,8 @@ TortureRunner::enumerate(const TortureConfig &cfg)
             for (const CrashSpec &spec : cfg.specs)
                 for (const std::uint64_t seed : cfg.seeds)
                     for (const double p : cfg.survive_probs)
-                        scenarios.push_back(
-                            {name, domain, spec, seed, p});
+                        scenarios.push_back({name, domain, spec, seed,
+                                             p, cfg.exec_workers});
     return scenarios;
 }
 

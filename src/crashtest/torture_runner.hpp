@@ -44,6 +44,11 @@ struct TortureScenario {
     CrashSpec spec;
     std::uint64_t seed = 1;
     double survive_prob = 0.0;
+
+    /** In-scenario executor width (copied from TortureConfig). Not an
+     *  axis and not folded into key()/signature(): every width yields
+     *  bit-identical outcomes (DESIGN.md decision #8). */
+    int exec_workers = 1;
 };
 
 /** How a scenario is classified. */
@@ -90,6 +95,17 @@ struct TortureConfig {
      * engine"); only host wall-clock changes.
      */
     int jobs = 1;
+
+    /**
+     * In-scenario executor width (SimConfig::exec_workers) applied to
+     * every scenario's Machine; 0 means one lane per hardware thread.
+     * Orthogonal to jobs: jobs parallelizes *across* scenarios, this
+     * parallelizes block execution *inside* each one. The signature is
+     * bit-identical at any width, so jobs x exec_workers is purely a
+     * wall-clock trade (oversubscription caps the useful product at
+     * the host's core count).
+     */
+    int exec_workers = 1;
 
     /** Fill every empty axis with its default. */
     void applyDefaults();

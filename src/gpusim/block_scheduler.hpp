@@ -35,6 +35,18 @@
  *    is exactly the sequential order. Stats merge in block order too,
  *    so even floating-point sums (work_ops) associate identically.
  *
+ *  - Crash-armed launches ride the same machinery (DESIGN.md decision
+ *    #8): CrashPoint ordinals are defined over the block-sequential
+ *    event order, and buffered blocks count their fence/store events
+ *    in their shadow logs, so the armed ordinal maps to a
+ *    deterministic (crash block, intra-block offset) position in the
+ *    block-ordered replay. Blocks before the crash block replay
+ *    fully, the crash block is re-executed *directly* with the event
+ *    counters pre-wound to its block-start prefix sums (so the
+ *    trigger fires at exactly the sequential instant, mid-phase flush
+ *    state and recorder stream included), and later blocks' shadow
+ *    state is discarded — cancel() stops handing them out early.
+ *
  * The lane also owns the serial hot-path scratch shared by both
  * modes: an O(1) open-addressed per-thread site-occurrence table
  * (replacing ThreadCtx's per-construction linear scan) and the flat
@@ -187,6 +199,29 @@ struct BlockSlice {
     std::uint32_t lane = 0;
     std::size_t ops_begin = 0, ops_end = 0;
     std::size_t txns_begin = 0, txns_end = 0;
+
+    /**
+     * The block's hot-counter contribution, snapshotted around the
+     * shadow execution. Only the crash-armed path fills this in: when
+     * a crash point lands mid-grid, blocks past the crash block are
+     * discarded and their telemetry must be subtracted back out so the
+     * merged counts match the sequential crash (which never ran them).
+     */
+    telemetry::HotShard::Counts tshard_delta{};
+
+    /** Fence events the block issued (== its Fence shadow ops). */
+    std::uint64_t
+    fenceEvents() const
+    {
+        return stats.fences;
+    }
+
+    /** PM-store events the block issued (== its Write shadow ops). */
+    std::uint64_t
+    storeEvents() const
+    {
+        return (ops_end - ops_begin) - stats.fences;
+    }
 };
 
 /**
@@ -259,6 +294,20 @@ class BlockScheduler
      */
     void dispatch(std::uint32_t blocks,
                   const std::function<void(unsigned, std::uint32_t)> &fn);
+
+    /**
+     * Stop handing out unclaimed blocks of the dispatch in flight;
+     * blocks already claimed still run to completion and dispatch()
+     * still joins every lane. Callable from inside @p fn on any lane.
+     * The crash-armed executor uses this once the contiguous done-
+     * prefix of blocks provably contains the armed crash ordinal:
+     * every later block would only be discarded at replay.
+     */
+    void
+    cancel()
+    {
+        abort_.store(true, std::memory_order_relaxed);
+    }
 
   private:
     void workerLoop(unsigned lane);

@@ -1,5 +1,7 @@
 #include "gpusim/gpu_executor.hpp"
 
+#include <algorithm>
+#include <mutex>
 #include <thread>
 
 #include "pmem/pm_events.hpp"
@@ -345,6 +347,163 @@ GpuExecutor::launchParallel(const KernelDesc &kernel, unsigned lanes)
     }
 }
 
+void
+GpuExecutor::launchParallelArmed(const KernelDesc &kernel, unsigned lanes,
+                                 std::uint64_t crash_at)
+{
+    // CrashPoint ordinals are 1-based counts over the block-sequential
+    // event order, and every block's event totals are deterministic
+    // functions of the kernel alone — so the ordinal names a unique
+    // (crash block B, intra-block offset) no matter which lane runs
+    // which block. Strategy (DESIGN.md decision #8): shadow-execute,
+    // find B from the per-block event counts, replay blocks [0, B)
+    // exactly as a clean parallel launch would, then re-execute block
+    // B *directly* on the sequential lane with the event counters
+    // pre-wound to the prefix sums. The direct run hits the armed
+    // trigger at the precise sequential instant, reproducing mid-phase
+    // flush state, recorder context and the KernelCrashed payload
+    // bit-for-bit; blocks past B are discarded.
+    const std::uint64_t tp_block =
+        std::uint64_t(kernel.block_threads) * kernel.phases.size();
+    const bool by_phase =
+        armed_->trigger == CrashPoint::Trigger::ThreadPhases;
+    const bool by_store =
+        armed_->trigger == CrashPoint::Trigger::AfterPmStore;
+
+    // ThreadPhases names its block upfront (the trigger checks
+    // executed_ *before* each thread-phase, so crash_at landing on a
+    // block boundary crashes at the start of that block). Fence/store
+    // ordinals need the shadow counts, so all blocks dispatch and an
+    // early-cancel kicks in once the done prefix provably contains
+    // the ordinal.
+    const std::uint32_t prefix_blocks =
+        by_phase ? static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                       kernel.blocks, crash_at / tp_block))
+                 : kernel.blocks;
+
+    slices_.assign(kernel.blocks, BlockSlice{});
+    if (prefix_blocks > 0) {
+        ensureScheduler(lanes);
+        for (ExecLane &lane : lanes_) {
+            lane.buffered = true;
+            lane.resetLaunch();
+            for (WarpRecorder &w : lane.warps)
+                w.accesses.clear();
+        }
+
+        // Early-cancel bookkeeping (event triggers only): a bitmap of
+        // finished blocks and the cumulative event count over the
+        // *contiguous* done prefix. Once that prefix's events reach
+        // the armed ordinal, every unclaimed block could only be
+        // discarded at replay — stop handing them out. Claimed blocks
+        // still finish, so by the time dispatch() joins, every block
+        // <= the crash block has a complete slice.
+        std::mutex done_m;
+        std::vector<std::uint8_t> done(prefix_blocks, 0);
+        std::uint32_t done_prefix = 0;
+        std::uint64_t done_events = 0;
+
+        sched_->dispatch(
+            prefix_blocks, [&](unsigned lane_idx, std::uint32_t b) {
+                ExecLane &lane = lanes_[lane_idx];
+                lane.overlay.beginBlock(pool_);
+                BlockSlice s;
+                s.lane = lane_idx;
+                s.ops_begin = lane.ops.size();
+                s.txns_begin = lane.txns.size();
+                const telemetry::HotShard::Counts t0 =
+                    lane.tshard.values();
+                runBlock(kernel, b, lane, ~std::uint64_t(0));
+                s.ops_end = lane.ops.size();
+                s.txns_end = lane.txns.size();
+                s.stats = lane.stats;
+                s.tshard_delta =
+                    telemetry::HotShard::diff(lane.tshard.values(), t0);
+                slices_[b] = s;
+                if (!by_phase) {
+                    std::lock_guard<std::mutex> lk(done_m);
+                    done[b] = 1;
+                    while (done_prefix < prefix_blocks &&
+                           done[done_prefix]) {
+                        const BlockSlice &p = slices_[done_prefix];
+                        done_events += by_store ? p.storeEvents()
+                                                : p.fenceEvents();
+                        ++done_prefix;
+                        if (done_events >= armed_->count) {
+                            sched_->cancel();
+                            break;
+                        }
+                    }
+                }
+            });
+    }
+
+    // Map the ordinal onto the block-sequential order.
+    std::uint32_t crash_block = kernel.blocks;  // sentinel: not fired
+    if (by_phase) {
+        if (crash_at / tp_block < kernel.blocks)
+            crash_block = static_cast<std::uint32_t>(crash_at / tp_block);
+    } else {
+        std::uint64_t cum = 0;
+        for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
+            cum += by_store ? slices_[b].storeEvents()
+                            : slices_[b].fenceEvents();
+            if (cum >= armed_->count) {
+                crash_block = b;
+                break;
+            }
+        }
+    }
+
+    if (crash_block >= kernel.blocks) {
+        // The ordinal lies beyond the launch: the sequential executor
+        // would run to completion, so replay the full grid and return.
+        for (std::uint32_t b = 0; b < kernel.blocks; ++b) {
+            replayBlock(slices_[b]);
+            cur_ += slices_[b].stats;
+        }
+        return;
+    }
+
+    // Blocks > crash_block (and the crash block's own shadow run) are
+    // discarded: drop their hot-counter contributions and re-fold only
+    // the surviving prefix deltas, *before* replay so BlocksReplayed
+    // adds land on clean shards. The sequential crash never executed
+    // the discarded blocks, so merged telemetry must not count them.
+    for (ExecLane &lane : lanes_)
+        lane.tshard.clear();
+    for (std::uint32_t b = 0; b < crash_block; ++b)
+        seq_lane_.tshard.addValues(slices_[b].tshard_delta);
+
+    for (std::uint32_t b = 0; b < crash_block; ++b) {
+        replayBlock(slices_[b]);
+        cur_ += slices_[b].stats;
+    }
+
+    // Pre-wind the event counters to the crash block's prefix sums and
+    // re-execute it directly; the armed trigger fires mid-block at its
+    // global ordinal exactly as it would have sequentially. The crash
+    // block's partial stats are not folded into cur_ — runBlock throws
+    // first — matching launchSequential.
+    executed_ = std::uint64_t(crash_block) * tp_block;
+    fence_count_ = 0;
+    store_count_ = 0;
+    for (std::uint32_t b = 0; b < crash_block; ++b) {
+        fence_count_ += slices_[b].fenceEvents();
+        store_count_ += slices_[b].storeEvents();
+    }
+
+    ExecLane &lane = seq_lane_;
+    lane.buffered = false;
+    lane.resetLaunch();
+    for (WarpRecorder &w : lane.warps)
+        w.accesses.clear();
+    runBlock(kernel, crash_block, lane, crash_at);
+    GPM_REQUIRE(false, "kernel '", kernel.name,
+                "': armed crash ordinal mapped to block ", crash_block,
+                " but the direct re-execution completed without firing");
+}
+
 LaunchStats
 GpuExecutor::launch(const KernelDesc &kernel)
 {
@@ -395,14 +554,19 @@ GpuExecutor::launch(const KernelDesc &kernel)
         }
     } mark_guard{rec};
 
-    // Crash-armed launches always take the sequential path: CrashPoint
-    // ordinals are defined over the block-sequential event order.
+    // CrashPoint ordinals are defined over the block-sequential event
+    // order; the armed parallel path maps the ordinal to its position
+    // in the block-ordered replay, so crash-armed launches fan out
+    // like clean ones (DESIGN.md decision #8).
     const unsigned lanes = resolvedWorkers();
-    if (kernel.block_independent && !kernel.crash && kernel.blocks > 1 &&
-        lanes > 1)
-        launchParallel(kernel, lanes);
-    else
+    if (kernel.block_independent && kernel.blocks > 1 && lanes > 1) {
+        if (armed_)
+            launchParallelArmed(kernel, lanes, crash_at);
+        else
+            launchParallel(kernel, lanes);
+    } else {
         launchSequential(kernel, crash_at);
+    }
 
     armed_.reset();
     nvm_->closeRuns();

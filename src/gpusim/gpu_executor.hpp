@@ -12,13 +12,18 @@
  * per-warp contiguity (or its absence) determines the media tier.
  *
  * Blocks execute in sequence by default. Launches whose KernelDesc
- * sets block_independent (and carries no CrashPoint) may instead be
- * fanned out across the persistent host worker pool in
- * block_scheduler.hpp: each worker records a buffered shadow log, and
- * a block-ordered reduction replays the logs into the shared pool and
- * NVM model so every observable is bit-identical to the sequential
- * order. SimConfig::exec_workers selects the width; 1 (the default)
- * keeps the reference sequential path.
+ * sets block_independent may instead be fanned out across the
+ * persistent host worker pool in block_scheduler.hpp: each worker
+ * records a buffered shadow log, and a block-ordered reduction
+ * replays the logs into the shared pool and NVM model so every
+ * observable is bit-identical to the sequential order. Crash-armed
+ * launches fan out too: the armed ordinal is mapped onto the
+ * block-ordered replay (blocks before the crash block replay fully,
+ * the crash block re-executes directly with pre-wound event counters
+ * so the trigger fires at the exact sequential instant, later blocks
+ * are discarded — DESIGN.md decision #8). SimConfig::exec_workers
+ * selects the width; 1 (the default) keeps the reference sequential
+ * path.
  */
 #pragma once
 
@@ -63,6 +68,14 @@ class GpuExecutor
     PmPool &pool() { return *pool_; }
 
     /**
+     * Accounting of the most recent launch. After a KernelCrashed
+     * unwind this holds the *partial* stats — exactly the blocks that
+     * completed before the crash point, identical at any worker width
+     * (the equivalence suite compares them against sequential).
+     */
+    const LaunchStats &lastLaunchStats() const { return cur_; }
+
+    /**
      * Lanes a parallel-eligible launch would use: exec_workers, with 0
      * meaning one lane per hardware thread and anything below 1 lane
      * clamped to sequential.
@@ -86,6 +99,18 @@ class GpuExecutor
                           std::uint64_t crash_at);
     void launchParallel(const KernelDesc &kernel, unsigned lanes);
 
+    /**
+     * Crash-armed parallel launch: shadow-execute, map the armed
+     * ordinal to its (crash block, intra-block offset) position in
+     * the block-sequential event order, replay the blocks before it,
+     * then re-execute the crash block directly with pre-wound event
+     * counters so the trigger fires at the exact sequential instant
+     * (throws KernelCrashed). When the ordinal lies beyond the launch
+     * the full grid replays and the launch completes normally.
+     */
+    void launchParallelArmed(const KernelDesc &kernel, unsigned lanes,
+                             std::uint64_t crash_at);
+
     /** Replay one block's shadow log into the shared pool/NVM model. */
     void replayBlock(const BlockSlice &slice);
 
@@ -100,11 +125,15 @@ class GpuExecutor
     void mergeTelemetryShards();
 
     /**
-     * Crash-trigger bookkeeping, called from the ThreadCtx data path.
-     * Event counters are per launch and 1-based, so e.g.
-     * CrashPoint::beforeFence(1) dies before the first fence of the
-     * launch ever persists anything. Crash-armed launches always run
-     * sequentially, so the ordinals keep their global meaning.
+     * Crash-trigger bookkeeping, called from the ThreadCtx data path
+     * in direct mode only (buffered blocks count events in their
+     * shadow logs instead). Event counters are per launch and
+     * 1-based, so e.g. CrashPoint::beforeFence(1) dies before the
+     * first fence of the launch ever persists anything. The ordinals
+     * are defined over the block-sequential event order; the parallel
+     * crash-armed path pre-winds these counters to the crash block's
+     * prefix sums before re-executing it, so they keep their global
+     * meaning at any worker width.
      */
     void noteFenceBefore(std::uint64_t executed);
     void noteFenceAfter(std::uint64_t executed);

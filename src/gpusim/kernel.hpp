@@ -135,8 +135,10 @@ struct KernelDesc {
      * block_scheduler.hpp); execution remains bit-identical to the
      * sequential order thanks to the block-ordered reduction, so the
      * flag is purely a performance opt-in for audited kernels.
-     * Crash-armed launches always run sequentially regardless, so
-     * CrashPoint ordinals keep their global meaning.
+     * Crash-armed launches fan out too: the armed ordinal is mapped
+     * onto the block-ordered replay (DESIGN.md decision #8), so
+     * CrashPoint ordinals keep their global block-sequential meaning
+     * at any worker width.
      */
     bool block_independent = false;
 

@@ -68,11 +68,12 @@ struct SimConfig {
      * (see gpusim/block_scheduler.hpp). 1 = sequential (default, the
      * reference order every parallel run must reproduce bit-for-bit);
      * 0 = one worker per hardware thread; N = exactly N workers, the
-     * calling thread included. Only launches whose KernelDesc sets
-     * block_independent and carries no CrashPoint ever run parallel,
-     * and their merged stats, NVM tiers and durable image are
-     * bit-identical to workers=1, so this knob never changes results —
-     * only wall-clock.
+     * calling thread included. Launches whose KernelDesc sets
+     * block_independent run parallel — crash-armed ones included,
+     * with the armed ordinal mapped onto the block-ordered replay
+     * (DESIGN.md decision #8) — and their merged stats, NVM tiers and
+     * durable image are bit-identical to workers=1, so this knob
+     * never changes results — only wall-clock.
      */
     int exec_workers = 1;
 

@@ -160,6 +160,10 @@ const char *hotCounterName(HotCounter c);
 class HotShard
 {
   public:
+    /** A point-in-time copy of every hot counter. */
+    using Counts =
+        std::array<std::uint64_t, static_cast<unsigned>(HotCounter::kCount)>;
+
     void
     add(HotCounter c, std::uint64_t n)
     {
@@ -183,9 +187,33 @@ class HotShard
         return v_[static_cast<unsigned>(c)];
     }
 
+    /** Snapshot the counters (pairs with diff() for per-block deltas). */
+    Counts values() const { return v_; }
+
+    /** Fold a delta produced by diff() back into this shard. */
+    void
+    addValues(const Counts &c)
+    {
+        for (std::size_t i = 0; i < c.size(); ++i)
+            v_[i] += c[i];
+    }
+
+    /**
+     * Element-wise @p after - @p before. The crash-armed parallel
+     * executor snapshots a lane around each shadow block so blocks
+     * discarded past the crash point can be subtracted back out.
+     */
+    static Counts
+    diff(const Counts &after, const Counts &before)
+    {
+        Counts d{};
+        for (std::size_t i = 0; i < d.size(); ++i)
+            d[i] = after[i] - before[i];
+        return d;
+    }
+
   private:
-    std::array<std::uint64_t, static_cast<unsigned>(HotCounter::kCount)>
-        v_{};
+    Counts v_{};
 };
 
 } // namespace gpm::telemetry

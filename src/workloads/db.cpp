@@ -582,6 +582,12 @@ GpDb::runCrashPoint(TxnKind kind, std::uint32_t crash_batch,
     k.blocks = static_cast<std::uint32_t>(ceilDiv(n, tpb));
     k.block_threads = tpb;
     k.crash = point;
+    // Block-independent in both variants: inserts write disjoint
+    // per-thread rows; updates hit unique targets (makeUpdateTargets)
+    // and read only pre-launch row values, and the HCL log insert is
+    // ctx-mediated per thread. Crash-armed launches may therefore fan
+    // out (DESIGN.md decision #8).
+    k.block_independent = true;
     if (kind == TxnKind::Insert) {
         k.phases.push_back([this, ref_count, batch](ThreadCtx &ctx) {
             const std::uint64_t i = ctx.globalId();

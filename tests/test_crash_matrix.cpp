@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "crashtest/torture_runner.hpp"
 #include "gpm/gpm_checkpoint.hpp"
@@ -145,6 +146,87 @@ TEST(CrashMatrix, SameConfigReproducesByteIdenticalOutcomes)
         EXPECT_EQ(a.results[i].cls, b.results[i].cls);
     }
     EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(CrashMatrix, RandomOrdinalsMatchAcrossExecutorWidths)
+{
+    // Property test for the parallel crash-armed engine (DESIGN.md
+    // decision #8): randomized (seeded) crash ordinals swept over the
+    // bounded matrix shape at in-scenario width 4 must reproduce the
+    // width-1 classification, outcome and signature bit for bit.
+    Rng rng(909);
+    TortureConfig cfg;
+    for (int i = 0; i < 4; ++i) {
+        CrashSpec s;
+        switch (i) {
+          case 0:
+            s.kind = CrashSpec::Kind::Fraction;
+            // Two-decimal fractions, matching the label grammar.
+            s.fraction =
+                static_cast<double>(1 + rng.next() % 99) / 100.0;
+            break;
+          case 1:
+            s.kind = CrashSpec::Kind::BeforeFence;
+            s.count = 1 + rng.next() % 64;
+            break;
+          case 2:
+            s.kind = CrashSpec::Kind::AfterFence;
+            s.count = 1 + rng.next() % 64;
+            break;
+          default:
+            s.kind = CrashSpec::Kind::AfterStore;
+            s.count = 1 + rng.next() % 256;
+            break;
+        }
+        cfg.specs.push_back(s);
+    }
+    cfg.seeds = {21, 22, 23, 24, 25};
+    cfg.survive_probs = {0.5};
+
+    TortureConfig seq = cfg;
+    seq.exec_workers = 1;
+    TortureConfig par = cfg;
+    par.exec_workers = 4;
+
+    const TortureReport a = TortureRunner::run(seq);
+    const TortureReport b = TortureRunner::run(par);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    EXPECT_GE(a.results.size(), 300u);
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].key(), b.results[i].key());
+        EXPECT_EQ(a.results[i].cls, b.results[i].cls)
+            << a.results[i].key();
+        EXPECT_EQ(a.results[i].outcome.fired,
+                  b.results[i].outcome.fired)
+            << a.results[i].key();
+        EXPECT_EQ(a.results[i].outcome.state_hash,
+                  b.results[i].outcome.state_hash)
+            << a.results[i].key();
+        EXPECT_NE(a.results[i].cls, OutcomeClass::Violation)
+            << a.results[i].key() << ": " << a.results[i].detail;
+    }
+    EXPECT_EQ(a.signature(), b.signature());
+}
+
+TEST(CrashMatrix, ScaleGridIsTheDocumentedShape)
+{
+    // gpmtorture --scale sweeps CrashGrid::fine() x 12 seeds: 30
+    // specs x 5 workloads x 3 domains x 12 seeds x 2 survival
+    // probabilities = 10800 scenarios, the 10k+ standing oracle.
+    const std::vector<CrashSpec> specs =
+        CrashScheduler::enumerate(CrashGrid::fine());
+    EXPECT_EQ(specs.size(), 30u);
+    std::set<std::string> labels;
+    for (const CrashSpec &s : specs)
+        EXPECT_TRUE(labels.insert(s.label()).second)
+            << "duplicate spec " << s.label();
+
+    TortureConfig cfg;
+    cfg.specs = specs;
+    for (std::uint64_t s = 1; s <= 12; ++s)
+        cfg.seeds.push_back(s);
+    cfg.applyDefaults();
+    EXPECT_EQ(cfg.scenarioCount(), 10800u);
 }
 
 TEST(CrashMatrix, EvictionSeedsChangeSurvivalNotCorrectness)

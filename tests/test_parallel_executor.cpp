@@ -223,44 +223,213 @@ TEST(ParallelExecutor, ParallelRunsAreDeterministic)
     EXPECT_TRUE(a == b);
 }
 
-TEST(ParallelExecutor, CrashArmedLaunchFallsBackToSequential)
-{
-    // A crash-armed launch must run sequentially even when the kernel
-    // is block_independent and workers are available, so CrashPoint
-    // ordinals keep their global (block-ordered) meaning.
-    auto run = [](int workers) {
-        SimConfig cfg;
-        cfg.exec_workers = workers;
-        PmPool pool(kCap, PersistDomain::McDurable, 7);
-        NvmModel nvm(cfg);
-        GpuExecutor gpu(cfg, pool, nvm);
+/**
+ * Everything observable about a crash-armed (launch, crash) episode:
+ * whether / where the armed point fired, the partial LaunchStats of
+ * the unwound launch, both pool images, pending-extent accounting,
+ * the NVM tier classification, and the post-crash durable image
+ * (which exposes the per-line crash-RNG consumption order).
+ */
+struct CrashSnapshot {
+    bool fired = false;
+    std::uint64_t fired_at = ~0ull;  ///< KernelCrashed payload
+    LaunchStats stats;               ///< partial when fired
+    std::vector<std::uint8_t> visible;
+    std::vector<std::uint8_t> durable;
+    std::size_t pending_extents = 0;
+    std::uint64_t pending_bytes = 0;
+    NvmTierBytes tier;
+    std::vector<std::uint8_t> post_crash_durable;
 
-        KernelDesc k;
+    bool
+    operator==(const CrashSnapshot &o) const = default;
+};
+
+CrashSnapshot
+runCrashArmed(int workers, PersistDomain domain, const CrashPoint &point,
+              const std::function<void(KernelDesc &)> &make)
+{
+    SimConfig cfg;
+    cfg.exec_workers = workers;
+    PmPool pool(kCap, domain, /*seed=*/7);
+    NvmModel nvm(cfg);
+    GpuExecutor gpu(cfg, pool, nvm);
+
+    KernelDesc k;
+    make(k);
+    k.crash = point;
+
+    CrashSnapshot s;
+    try {
+        s.stats = gpu.launch(k);
+    } catch (const KernelCrashed &c) {
+        s.fired = true;
+        s.fired_at = c.executed_thread_phases;
+        s.stats = gpu.lastLaunchStats();
+    }
+    s.visible.assign(pool.visible(), pool.visible() + kCap);
+    s.durable.assign(pool.durable(), pool.durable() + kCap);
+    s.pending_extents = pool.pendingExtents();
+    s.pending_bytes = pool.pendingBytes();
+    nvm.closeRuns();
+    s.tier = nvm.bytes();
+    pool.crash(/*survive_prob=*/0.5);
+    s.post_crash_durable.assign(pool.durable(), pool.durable() + kCap);
+    return s;
+}
+
+TEST(ParallelExecutor, CrashArmedMatchesSequentialAcrossTriggers)
+{
+    // Every trigger kind at ordinals that land early, mid-grid
+    // (exercising prefix replay + the direct crash-block re-run), on
+    // a block boundary, and beyond the launch (the not-fired full
+    // replay). The kernel mixes stores, fences and pending tails so
+    // each trigger's instant leaves distinctive partial state.
+    auto make = [](KernelDesc &k) {
         k.name = "crash-armed";
         k.blocks = 6;
         k.block_threads = 64;
         k.block_independent = true;
         k.phases.push_back([](ThreadCtx &ctx) {
-            ctx.pmStore(ctx.globalId() * 8, ctx.globalId());
-            ctx.threadfenceSystem();
+            const std::uint64_t base = ctx.globalId() * 64;
+            ctx.pmStore(base, ctx.globalId());
+            ctx.pmStore(base + 8, mix(11, ctx.globalId(), 0));
+            if (ctx.globalId() % 3 == 0)
+                ctx.threadfenceSystem();
+            ctx.work(1.5);
         });
-        k.crash = CrashPoint{200};
-        std::uint64_t fired_at = ~0ull;
-        try {
-            gpu.launch(k);
-        } catch (const KernelCrashed &c) {
-            fired_at = c.executed_thread_phases;
-        }
-        pool.crash(0.5);
-        return std::pair{fired_at, std::vector<std::uint8_t>(
-                                       pool.durable(),
-                                       pool.durable() + kCap)};
+        k.phases.push_back([](ThreadCtx &ctx) {
+            const std::uint64_t base = ctx.globalId() * 64;
+            ctx.pmStore(base + 16, mix(12, ctx.globalId(), 1));
+            ctx.threadfenceSystem();
+            // Left pending: no fence follows.
+            ctx.pmStore(base + 24, ~ctx.globalId());
+        });
     };
-    const auto [seq_at, seq_img] = run(1);
-    const auto [par_at, par_img] = run(8);
-    EXPECT_EQ(seq_at, 200u);
-    EXPECT_EQ(par_at, 200u);
-    EXPECT_EQ(seq_img, par_img);
+    // 6 blocks x 64 threads x 2 phases = 768 thread phases; each block
+    // issues 192 stores and ~86 fences.
+    const CrashPoint points[] = {
+        CrashPoint::afterThreadPhases(1),
+        CrashPoint::afterThreadPhases(200),
+        CrashPoint::afterThreadPhases(128),  // exact block boundary
+        CrashPoint::afterThreadPhases(767),
+        CrashPoint::afterThreadPhases(768),  // never fires
+        CrashPoint::beforeFence(1),
+        CrashPoint::beforeFence(150),
+        CrashPoint::afterFence(1),
+        CrashPoint::afterFence(99),
+        CrashPoint::afterFence(100000),      // never fires
+        CrashPoint::afterPmStore(1),
+        CrashPoint::afterPmStore(500),
+        CrashPoint::afterPmStore(1152),      // the very last store
+    };
+
+    for (const PersistDomain domain : kDomains) {
+        for (const CrashPoint &point : points) {
+            const CrashSnapshot ref =
+                runCrashArmed(1, domain, point, make);
+            for (const int workers : kWorkerCounts) {
+                const CrashSnapshot got =
+                    runCrashArmed(workers, domain, point, make);
+                EXPECT_TRUE(got == ref)
+                    << "divergence at " << workers
+                    << " workers, domain " << static_cast<int>(domain)
+                    << ", point " << point.describe()
+                    << " (fired " << got.fired << "/" << ref.fired
+                    << " at " << got.fired_at << "/" << ref.fired_at
+                    << ")";
+            }
+        }
+    }
+}
+
+TEST(ParallelExecutor, CrashArmedRandomGeometriesMatchSequential)
+{
+    // Random grids x random ordinals: the mapping from a global
+    // ordinal to (crash block, intra-block offset) must hold for any
+    // geometry, including single-block grids (sequential path) and
+    // ordinals past the end.
+    Rng rng(77);
+    for (int trial = 0; trial < 12; ++trial) {
+        const auto blocks =
+            static_cast<std::uint32_t>(rng.between(2, 11));
+        constexpr std::uint32_t kTpb[] = {32, 64, 96, 128};
+        const std::uint32_t tpb = kTpb[rng.below(4)];
+        const std::uint64_t salt = rng.next();
+        const std::uint64_t stride =
+            (kCap - 4096) / (std::uint64_t(blocks) * tpb);
+
+        auto make = [&](KernelDesc &k) {
+            k.name = "crash-random";
+            k.blocks = blocks;
+            k.block_threads = tpb;
+            k.block_independent = true;
+            k.phases.push_back([&](ThreadCtx &ctx) {
+                const std::uint64_t base = ctx.globalId() * stride;
+                const std::uint64_t n =
+                    1 + mix(salt, ctx.globalId(), 0) % 4;
+                for (std::uint64_t i = 0; i < n; ++i)
+                    ctx.pmStore(base + i * 8,
+                                mix(salt, ctx.globalId(), i));
+                if (mix(salt, 1, ctx.globalId()) % 2 == 0)
+                    ctx.threadfenceSystem();
+            });
+        };
+
+        const std::uint64_t total = std::uint64_t(blocks) * tpb;
+        const CrashPoint point = [&]() -> CrashPoint {
+            switch (trial % 4) {
+              case 0:
+                return CrashPoint::afterThreadPhases(
+                    1 + rng.next() % total);
+              case 1:
+                return CrashPoint::beforeFence(1 + rng.next() %
+                                               (total / 2));
+              case 2:
+                return CrashPoint::afterFence(1 + rng.next() %
+                                              (total / 2));
+              default:
+                return CrashPoint::afterPmStore(1 + rng.next() %
+                                                (2 * total));
+            }
+        }();
+
+        const CrashSnapshot ref =
+            runCrashArmed(1, PersistDomain::McDurable, point, make);
+        for (const int workers : kWorkerCounts) {
+            const CrashSnapshot got = runCrashArmed(
+                workers, PersistDomain::McDurable, point, make);
+            EXPECT_TRUE(got == ref)
+                << "trial " << trial << " (" << blocks << "x" << tpb
+                << ", " << point.describe() << ") at " << workers
+                << " workers";
+        }
+    }
+}
+
+TEST(ParallelExecutor, CrashArmedParallelRunsAreDeterministic)
+{
+    // Two armed runs at the same width must agree with each other:
+    // the early-cancel race may stop the shadow dispatch at different
+    // points, but nothing observable may depend on it.
+    auto make = [](KernelDesc &k) {
+        k.name = "crash-repeat";
+        k.blocks = 9;
+        k.block_threads = 128;
+        k.block_independent = true;
+        k.phases.push_back([](ThreadCtx &ctx) {
+            ctx.pmStore(ctx.globalId() * 16, mix(5, ctx.globalId(), 0));
+            if (ctx.globalId() % 4 == 0)
+                ctx.threadfenceSystem();
+        });
+    };
+    const CrashPoint point = CrashPoint::afterPmStore(300);
+    const CrashSnapshot a =
+        runCrashArmed(4, PersistDomain::McDurable, point, make);
+    const CrashSnapshot b =
+        runCrashArmed(4, PersistDomain::McDurable, point, make);
+    EXPECT_TRUE(a == b);
+    EXPECT_TRUE(a.fired);
 }
 
 TEST(ParallelExecutor, DependentKernelsStaySequential)

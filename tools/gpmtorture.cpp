@@ -16,6 +16,10 @@
  *     --survive   0.0,0.5             line-survival probabilities
  *     --jobs      N                   sweep workers (0 = hw threads;
  *                                     default GPM_EXEC_WORKERS, else 1)
+ *     --exec-workers N                in-scenario executor width
+ *                                     (default 1; 0 = hw threads)
+ *     --scale                         CrashGrid::fine() + 12 seeds:
+ *                                     the 10k+ scenario grid
  *     --tsv                           tab-separated full table
  *     --summary-only                  omit the full table
  *     --list                          print workloads + grammar
@@ -23,7 +27,10 @@
  * Every scenario is a private Machine + PmPool world and the sweep
  * engine lands results in canonical slots, so the report — table
  * order, counts, signature — is bit-identical at any --jobs; only the
- * printed sweep wall-clock changes.
+ * printed sweep wall-clock changes. --exec-workers parallelizes block
+ * execution *inside* each scenario (crash-armed launches included,
+ * DESIGN.md decision #8) and is equally signature-invariant, so the
+ * two knobs compose into a pure wall-clock trade.
  *
  * Crash-point grammar: frac:<f in [0,1]> | before-fence:<n> |
  * after-fence:<n> | after-store:<n> (event ordinals are 1-based and
@@ -83,7 +90,8 @@ usage()
     std::printf(
         "usage: gpmtorture [--workloads w,...] [--domains d,...]\n"
         "                  [--points p,...] [--seeds s,...]\n"
-        "                  [--survive f,...] [--jobs n] [--tsv]\n"
+        "                  [--survive f,...] [--jobs n]\n"
+        "                  [--exec-workers n] [--scale] [--tsv]\n"
         "                  [--summary-only] [--list]\n");
 }
 
@@ -112,6 +120,7 @@ main(int argc, char **argv)
     cfg.jobs = execWorkersFromEnv(cfg.jobs);
     bool tsv = false;
     bool summary_only = false;
+    bool scale = false;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -150,6 +159,15 @@ main(int argc, char **argv)
                             "--jobs: want an integer in [0, ",
                             kMaxExecWorkers, "], got '", v, "'");
                 cfg.jobs = *jobs;
+            } else if (arg == "--exec-workers") {
+                const std::string v = value();
+                const std::optional<int> w = parseExecWorkers(v);
+                GPM_REQUIRE(w.has_value(),
+                            "--exec-workers: want an integer in [0, ",
+                            kMaxExecWorkers, "], got '", v, "'");
+                cfg.exec_workers = *w;
+            } else if (arg == "--scale") {
+                scale = true;
             } else if (arg == "--tsv") {
                 tsv = true;
             } else if (arg == "--summary-only") {
@@ -163,14 +181,27 @@ main(int argc, char **argv)
             }
         }
 
+        // --scale widens the spec and seed axes to the 10k+ grid
+        // unless the caller pinned them explicitly.
+        if (scale) {
+            if (cfg.specs.empty())
+                cfg.specs =
+                    CrashScheduler::enumerate(CrashGrid::fine());
+            if (cfg.seeds.empty())
+                for (std::uint64_t s = 1; s <= 12; ++s)
+                    cfg.seeds.push_back(s);
+        }
+
         // Validate workload names before the sweep starts.
         for (const std::string &w : cfg.workloads)
             makeInvariant(w);
 
         TortureConfig counted = cfg;
         counted.applyDefaults();
-        std::printf("sweeping %zu crash scenarios (--jobs %d)...\n",
-                    counted.scenarioCount(), cfg.jobs);
+        std::printf("sweeping %zu crash scenarios (--jobs %d, "
+                    "--exec-workers %d)...\n",
+                    counted.scenarioCount(), cfg.jobs,
+                    cfg.exec_workers);
 
         const auto t0 = std::chrono::steady_clock::now();
         const TortureReport report = TortureRunner::run(cfg);
