@@ -129,6 +129,28 @@ BM_SiteTableManySites(benchmark::State &state)
 BENCHMARK(BM_SiteTableManySites);
 
 void
+BM_KvsMakeBatch(benchmark::State &state)
+{
+    // Steady-state batch assembly: after batch 0 is cached, makeBatch
+    // must rewrite its reused buffer without touching the allocator
+    // (the churn the serving engine's hot loop cannot afford).
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 64_MiB);
+    GpKvsParams p;
+    p.batch_ops = static_cast<std::uint32_t>(state.range(0));
+    p.get_ratio = 0.5;
+    GpKvs kvs(m, p);
+    std::uint32_t batch = 1;
+    for (auto _ : state) {
+        const auto &ops = kvs.makeBatch(batch);
+        benchmark::DoNotOptimize(ops.data());
+        batch = batch == 1u << 20 ? 1 : batch + 1;
+    }
+    state.SetItemsProcessed(state.iterations() * p.batch_ops);
+}
+BENCHMARK(BM_KvsMakeBatch)->Arg(256)->Arg(4096)->Arg(32768);
+
+void
 BM_HclInsert(benchmark::State &state)
 {
     SimConfig cfg;

@@ -1,0 +1,98 @@
+#include "common/keydist.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace gpm {
+
+namespace {
+
+/** Generalized harmonic number sum_{i=1..n} 1/i^theta. */
+double
+zeta(std::uint64_t n, double theta)
+{
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        z += 1.0 / std::pow(static_cast<double>(i), theta);
+    return z;
+}
+
+/** splitmix64 finalizer (same mix as Rng's stream, used statelessly). */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+KeyDistKind
+keyDistKindFromName(const char *name)
+{
+    if (std::strcmp(name, "uniform") == 0)
+        return KeyDistKind::Uniform;
+    if (std::strcmp(name, "zipfian") == 0)
+        return KeyDistKind::Zipfian;
+    fatal("unknown key distribution '", name,
+          "' (expected uniform or zipfian)");
+}
+
+const char *
+keyDistKindName(KeyDistKind k)
+{
+    return k == KeyDistKind::Uniform ? "uniform" : "zipfian";
+}
+
+KeyDist::KeyDist(KeyDistKind kind, std::uint64_t n, std::uint64_t seed,
+                 double theta)
+    : kind_(kind), n_(n), rng_(seed)
+{
+    GPM_REQUIRE(n >= 1, "KeyDist needs at least one rank");
+    if (kind_ == KeyDistKind::Zipfian) {
+        GPM_REQUIRE(theta > 0.0 && theta < 1.0,
+                    "zipfian theta must be in (0, 1), got ", theta);
+        theta_ = theta;
+        zetan_ = zeta(n_, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        const double zeta2 = zeta(n_ < 2 ? n_ : 2, theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                               1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+    }
+}
+
+std::uint64_t
+KeyDist::nextRank()
+{
+    if (kind_ == KeyDistKind::Uniform)
+        return rng_.below(n_);
+    // Gray et al. inversion: map u in [0,1) through the zipfian CDF's
+    // closed-form approximation.
+    const double u = rng_.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const double r =
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t rank = static_cast<std::uint64_t>(r);
+    if (rank >= n_)
+        rank = n_ - 1;
+    return rank;
+}
+
+std::uint64_t
+KeyDist::keyForRank(std::uint64_t rank)
+{
+    const std::uint64_t k = mix64(rank + 1);
+    return k ? k : 1;  // GpKvs reserves key 0 as the empty sentinel
+}
+
+} // namespace gpm

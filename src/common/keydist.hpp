@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Seeded key-distribution generators for load generation.
+ *
+ * Two shapes cover the serving benchmarks:
+ *
+ *  - Uniform: every rank in [0, n) equally likely.
+ *  - Zipfian: rank r drawn with probability proportional to
+ *    1 / (r+1)^theta (theta defaults to the YCSB-standard 0.99),
+ *    using the Gray et al. rejection-free inversion ("Quickly
+ *    generating billion-record synthetic databases", SIGMOD '94) with
+ *    the generalized harmonic number zeta(n, theta) precomputed once
+ *    at construction.
+ *
+ * Ranks are *popularity ranks*: rank 0 is the hottest key. A serving
+ * workload must not store hot keys adjacently (that would turn skew
+ * into artificial spatial locality), so keyForRank() scrambles ranks
+ * through a splitmix64 finalizer into a sparse 64-bit key space,
+ * pinned non-zero because GpKvs reserves key 0 as the empty-slot
+ * sentinel. The scramble is a fixed bijection-ish map (collisions are
+ * astronomically unlikely for the rank counts used here and harmless
+ * to oracle correctness either way: two ranks mapping to one key
+ * simply alias one logical key).
+ *
+ * Determinism contract: a KeyDist owns no hidden state beyond its Rng,
+ * so one generator drawn from sequentially is bit-reproducible from
+ * its seed — the property the serving engine's ack-stream signature
+ * relies on.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gpm {
+
+/** Key-popularity shape. */
+enum class KeyDistKind { Uniform, Zipfian };
+
+/** Parse "uniform" / "zipfian"; fatal() on anything else. */
+KeyDistKind keyDistKindFromName(const char *name);
+
+/** Canonical name of @p k. */
+const char *keyDistKindName(KeyDistKind k);
+
+/** Seeded rank generator over [0, n) with uniform or zipfian shape. */
+class KeyDist
+{
+  public:
+    /** YCSB-standard zipfian skew. */
+    static constexpr double kDefaultTheta = 0.99;
+
+    /**
+     * @param kind   Popularity shape.
+     * @param n      Number of distinct ranks (keys), >= 1.
+     * @param seed   Rng seed (the caller typically splits a stream id).
+     * @param theta  Zipfian exponent in (0, 1); ignored for Uniform.
+     */
+    KeyDist(KeyDistKind kind, std::uint64_t n, std::uint64_t seed,
+            double theta = kDefaultTheta);
+
+    /** Draw the next popularity rank in [0, n). */
+    std::uint64_t nextRank();
+
+    /** Draw the next key (scrambled rank, never 0). */
+    std::uint64_t next() { return keyForRank(nextRank()); }
+
+    /**
+     * The sparse non-zero 64-bit key of popularity rank @p rank —
+     * a pure function, usable by oracles without a generator.
+     */
+    static std::uint64_t keyForRank(std::uint64_t rank);
+
+    std::uint64_t n() const { return n_; }
+    KeyDistKind kind() const { return kind_; }
+
+  private:
+    KeyDistKind kind_;
+    std::uint64_t n_;
+    Rng rng_;
+    // Zipfian (Gray et al.) precomputed constants.
+    double theta_ = 0.0;
+    double zetan_ = 0.0;   ///< zeta(n, theta)
+    double alpha_ = 0.0;   ///< 1 / (1 - theta)
+    double eta_ = 0.0;     ///< (1 - (2/n)^(1-theta)) / (1 - zeta(2)/zetan)
+};
+
+} // namespace gpm

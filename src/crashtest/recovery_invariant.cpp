@@ -266,6 +266,8 @@ makeInvariant(const std::string &name)
         return std::make_unique<PsInvariant>();
     if (name == "srad")
         return std::make_unique<SradInvariant>();
+    if (name == "serve")
+        return makeServeInvariant();
     fatal("unknown torture workload '", name, "'");
 }
 

@@ -101,11 +101,19 @@ class RecoveryInvariant
                                double survive_prob) = 0;
 };
 
-/** Names of every registered workload adapter, in sweep order. */
+/** Names of every registered workload adapter, in sweep order.
+ *  Extended adapters ("serve") are reachable via makeInvariant and
+ *  the CLI --workloads flag but stay out of this default axis, which
+ *  keeps the pinned default/scale sweep signatures stable. */
 std::vector<std::string> registeredInvariants();
 
 /** Instantiate an adapter; throws FatalError on unknown names. */
 std::unique_ptr<RecoveryInvariant> makeInvariant(
     const std::string &name);
+
+/** The "serve" adapter: a mid-traffic power failure inside the
+ *  ServiceEngine (src/service) — acknowledged-write durability across
+ *  key-sharded multi-pool pipelines. Defined in serve_invariant.cpp. */
+std::unique_ptr<RecoveryInvariant> makeServeInvariant();
 
 } // namespace gpm

@@ -38,6 +38,46 @@ HistogramData::observe(double v)
     ++bins[binOf(v)];
 }
 
+double
+HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the selected sample, 1-based: ceil(q * count), at least 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < bins.size(); ++b) {
+        if (bins[b] == 0)
+            continue;
+        if (seen + bins[b] < rank) {
+            seen += bins[b];
+            continue;
+        }
+        // Rank lands in bin b: interpolate across the bin's value span
+        // by the rank's position among this bin's samples.
+        const double lo = b == 0 ? 0.0 : std::ldexp(1.0, int(b) - 1);
+        const double hi = b == 0 ? 1.0 : std::ldexp(1.0, int(b));
+        const double frac =
+            static_cast<double>(rank - seen) / static_cast<double>(bins[b]);
+        double v = lo + (hi - lo) * frac;
+        if (v < min)
+            v = min;
+        if (v > max)
+            v = max;
+        return v;
+    }
+    return max;  // unreachable when bins/count are consistent
+}
+
 std::uint64_t
 MetricsSnapshot::counter(std::string_view name) const
 {
@@ -83,6 +123,9 @@ MetricsSnapshot::writeFields(JsonWriter &w) const
         w.field("min", h.min);
         w.field("max", h.max);
         w.field("mean", h.mean());
+        w.field("p50", h.p50());
+        w.field("p99", h.p99());
+        w.field("p999", h.p999());
         // Only the populated prefix of the log2 bins; trailing zeros
         // carry no information and bloat every metrics.json.
         unsigned last = 0;

@@ -55,6 +55,24 @@ struct HistogramData {
         return count ? sum / static_cast<double>(count) : 0.0;
     }
 
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) from the log2 bins.
+     *
+     * The rank-selected bin is linearly interpolated across its span
+     * [2^(b-1), 2^b) by the rank's position among the bin's samples,
+     * then clamped to the observed [min, max] so single-bin and
+     * tail-bin estimates never leave the data range. Exact for
+     * distributions with one sample per bin; within a factor of 2
+     * (one bin width) otherwise — the usual log2-histogram contract.
+     * Returns 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
+
     bool operator==(const HistogramData &o) const = default;
 };
 

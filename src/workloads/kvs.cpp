@@ -12,6 +12,17 @@
 
 namespace gpm {
 
+const char *
+kvVerbName(KvVerb v)
+{
+    switch (v) {
+      case KvVerb::Get: return "get";
+      case KvVerb::Put: return "put";
+      case KvVerb::Del: return "del";
+    }
+    return "?";
+}
+
 namespace {
 
 /** Meta region layout. */
@@ -68,27 +79,35 @@ GpKvs::pairAddr(std::uint32_t set, std::uint32_t way) const
                sizeof(KvPair);
 }
 
-std::vector<GpKvs::Op>
-GpKvs::makeBatch(std::uint32_t batch) const
+void
+GpKvs::fillBatch(std::uint32_t batch, std::vector<Op> &out) const
 {
     Rng rng = Rng(p_.seed).split(batch);
-    std::vector<Op> ops(p_.batch_ops);
-    for (Op &op : ops) {
+    out.resize(p_.batch_ops);
+    for (Op &op : out) {
         op.key = rng.next() | 1;  // never the empty-slot marker
         op.value = rng.next() | 1;
         op.is_get = rng.chance(p_.get_ratio);
     }
+}
+
+const std::vector<GpKvs::Op> &
+GpKvs::makeBatch(std::uint32_t batch) const
+{
+    fillBatch(batch, ops_buf_);
     if (batch > 0 && p_.get_ratio > 0.0) {
         // Make GETs meaningful: target keys the first batch SET (a
         // read-mostly store serving its own population), falling back
-        // to random (miss) keys for every second GET.
-        const std::vector<Op> first = makeBatch(0);
-        for (std::uint32_t i = 0; i < ops.size(); ++i) {
-            if (ops[i].is_get && i % 2 == 0)
-                ops[i].key = first[i].key;
+        // to random (miss) keys for every second GET. Batch 0 is
+        // cached so steady-state assembly touches no allocator.
+        if (first_ops_.empty())
+            fillBatch(0, first_ops_);
+        for (std::uint32_t i = 0; i < ops_buf_.size(); ++i) {
+            if (ops_buf_[i].is_get && i % 2 == 0)
+                ops_buf_[i].key = first_ops_[i].key;
         }
     }
-    return ops;
+    return ops_buf_;
 }
 
 void
@@ -331,7 +350,7 @@ GpKvs::run()
     const std::uint64_t pay0 = m_->persistPayloadBytes();
 
     for (std::uint32_t b = 0; b < p_.batches; ++b) {
-        const std::vector<Op> ops = makeBatch(b);
+        const std::vector<Op> &ops = makeBatch(b);
         switch (m_->kind()) {
           case PlatformKind::Gpm:
             gpmPersistBegin(*m_);
@@ -364,7 +383,7 @@ GpKvs::run()
         applyBatchReference(mirror, b);
     bool gets_ok = true;
     {
-        const std::vector<Op> last = makeBatch(p_.batches - 1);
+        const std::vector<Op> &last = makeBatch(p_.batches - 1);
         for (std::uint32_t i = 0; i < last.size(); ++i) {
             const Op &op = last[i];
             if (op.is_get) {
@@ -499,7 +518,7 @@ GpKvs::runCrashPoint(std::uint32_t crash_batch, const CrashPoint &point,
 
     // The doomed batch: arm the crash point mid-kernel.
     {
-        const std::vector<Op> ops = makeBatch(crash_batch);
+        const std::vector<Op> &ops = makeBatch(crash_batch);
         const std::uint32_t batch_id = crash_batch;
         const std::uint32_t flag_and_batch[2] = {1u, batch_id};
         m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
@@ -581,6 +600,12 @@ GpKvs::durableEquals(const std::vector<KvPair> &reference) const
                        reference.size() * sizeof(KvPair)) == 0;
 }
 
+std::uint64_t
+GpKvs::durableStoreHash() const
+{
+    return fnv1a(m_->pool().durable() + store_.offset, p_.storeBytes());
+}
+
 bool
 GpKvs::lookup(std::uint64_t key, std::uint64_t &value_out) const
 {
@@ -595,6 +620,190 @@ GpKvs::lookup(std::uint64_t key, std::uint64_t &value_out) const
         }
     }
     return false;
+}
+
+void
+GpKvs::serveSetup(std::uint32_t max_batch_ops)
+{
+    GPM_REQUIRE(inKernelPersistence(m_->kind()),
+                "serving requires in-kernel persistence (GPM/eADR)");
+    GPM_REQUIRE(p_.use_hcl, "the serving path logs through HCL");
+    GPM_REQUIRE(max_batch_ops > 0, "empty serve batch capacity");
+
+    serve_max_ops_ = max_batch_ops;
+    // The recovery kernel's grid spans p_.batch_ops ops; keep it in
+    // sync with the serve log geometry.
+    p_.batch_ops = max_batch_ops;
+
+    store_ = gpmMap(*m_, "gpkvs.data", p_.storeBytes(), /*create=*/true);
+    meta_ = gpmMap(*m_, "gpkvs.meta", 256, /*create=*/true);
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        rec->declareRange("gpkvs.data", store_.offset, p_.storeBytes(),
+                          sizeof(KvPair), PmRangeKind::Data);
+        rec->declareRange("gpkvs.meta", meta_.offset, 8, 0,
+                          PmRangeKind::Commit);
+        rec->declareOrder("gpkvs.data", "gpkvs.meta", /*strict=*/false);
+    }
+
+    const std::uint64_t threads =
+        std::uint64_t(max_batch_ops) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+    const std::uint32_t blocks =
+        static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    // At most one undo entry per leader thread per in-flight batch,
+    // and serveBatch truncates after every commit — 2 rows per thread
+    // is already headroom.
+    log_.push_back(GpmLog::createHcl(*m_, "gpkvs.log",
+                                     sizeof(EpochEntry),
+                                     /*max_entries=*/2, blocks, tpb));
+}
+
+void
+GpKvs::serveBatch(const std::vector<KvRequest> &reqs,
+                  std::vector<std::uint64_t> &results,
+                  const CrashPoint *crash)
+{
+    GPM_REQUIRE(serve_max_ops_ > 0, "serveSetup() was not called");
+    GPM_REQUIRE(!reqs.empty() && reqs.size() <= serve_max_ops_,
+                "serve batch of ", reqs.size(), " ops outside [1, ",
+                serve_max_ops_, "]");
+
+    // The dynamic batcher's dedup contract: at most one request per
+    // set index. Distinct sets are disjoint 128 B lines, which is
+    // what lets the kernel run block-independent and makes batch
+    // results independent of intra-batch order.
+    set_scratch_.clear();
+    for (const KvRequest &rq : reqs)
+        set_scratch_.push_back(setOf(rq.key));
+    std::sort(set_scratch_.begin(), set_scratch_.end());
+    GPM_REQUIRE(std::adjacent_find(set_scratch_.begin(),
+                                   set_scratch_.end()) ==
+                    set_scratch_.end(),
+                "serve batch carries two requests on one set");
+
+    results.assign(reqs.size(), 0);
+    const std::uint32_t batch_id =
+        m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
+    const std::uint32_t flag_and_batch[2] = {1u, batch_id};
+    m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
+
+    const std::uint64_t threads =
+        std::uint64_t(reqs.size()) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+    KernelDesc k;
+    k.name = "gpkvs_serve";
+    k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    k.block_threads = tpb;
+    k.block_independent = true;
+    if (crash)
+        k.crash = *crash;
+    k.phases.push_back([this, &reqs, &results, batch_id](ThreadCtx &ctx) {
+        const std::uint64_t gtid = ctx.globalId();
+        const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
+        if (op_idx >= reqs.size())
+            return;
+        const KvRequest &rq = reqs[op_idx];
+        ctx.work(40);  // hashing + probe arithmetic
+        const std::uint32_t set = setOf(rq.key);
+
+        if (rq.verb == KvVerb::Get) {
+            if (gtid % GpKvsParams::kGroup == 0) {
+                // Served from the HBM-cached copy of the store.
+                ctx.hbmTraffic(GpKvsParams::kWays * sizeof(KvPair));
+                ctx.work(20);
+                KvPair ways[GpKvsParams::kWays];
+                m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+                for (const KvPair &pair : ways) {
+                    if (pair.key == rq.key)
+                        results[op_idx] = pair.value;
+                }
+            }
+            return;
+        }
+
+        KvPair ways[GpKvsParams::kWays];
+        m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+        ctx.hbmTraffic(sizeof(KvPair));  // this thread probes one way
+
+        std::uint32_t way = kNoWay;
+        if (rq.verb == KvVerb::Put) {
+            way = chooseWay(ways, rq.key);
+        } else {
+            // DEL: only an exact key match has a leader.
+            for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+                if (ways[w].key == rq.key)
+                    way = w;
+            }
+        }
+        if (way == kNoWay || gtid % GpKvsParams::kGroup != way)
+            return;  // not the leader (PUT on full set / DEL miss)
+
+        EpochEntry entry;
+        entry.e = KvLogEntry{set, way, ways[way].key, ways[way].value};
+        entry.batch = batch_id;
+        log_.front().insert(ctx, &entry, sizeof(entry));
+        const KvPair next = rq.verb == KvVerb::Put
+                                ? KvPair{rq.key, rq.value}
+                                : KvPair{};
+        ctx.pmStore(pairAddr(set, way), next);
+        gpmPersist(ctx);
+        results[op_idx] = 1;
+    });
+    m_->runKernel(k);  // KernelCrashed propagates to the caller
+    m_->advance(log_.front().consumeSerializationNs());
+
+    // Transaction epilogue, then truncate the per-thread undo tails
+    // so a long-running service never outgrows the log.
+    const std::uint32_t done_and_next[2] = {0u, batch_id + 1};
+    m_->cpuWritePersist(meta_.offset, done_and_next, 8, 1);
+    log_.front().clearAll();
+}
+
+bool
+GpKvs::serveRecover()
+{
+    GPM_REQUIRE(serve_max_ops_ > 0, "serveSetup() was not called");
+    bool ran = false;
+    if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) ==
+        1) {
+        // Recovery opens its own persist window: a reboot-time
+        // procedure gets to configure DDIO even if the crashed
+        // service left it in either state.
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);
+        recover();
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistEnd(*m_);
+        ran = true;
+    }
+    log_.front().clearAll();
+    return ran;
+}
+
+std::uint64_t
+GpKvs::serveReference(KvPair *set_base, const KvRequest &rq)
+{
+    if (rq.verb == KvVerb::Get) {
+        for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+            if (set_base[w].key == rq.key)
+                return set_base[w].value;
+        }
+        return 0;
+    }
+    if (rq.verb == KvVerb::Put) {
+        const std::uint32_t way = chooseWay(set_base, rq.key);
+        if (way == kNoWay)
+            return 0;
+        set_base[way] = KvPair{rq.key, rq.value};
+        return 1;
+    }
+    for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+        if (set_base[w].key == rq.key) {
+            set_base[w] = KvPair{};
+            return 1;
+        }
+    }
+    return 0;
 }
 
 void

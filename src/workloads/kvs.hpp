@@ -69,6 +69,19 @@ struct KvLogEntry {
     std::uint64_t old_value = 0;
 };
 
+/** Request verbs of the serving path (src/service, tools/gpmserve). */
+enum class KvVerb : std::uint8_t { Get = 0, Put = 1, Del = 2 };
+
+/** Canonical lower-case name of @p v ("get" / "put" / "del"). */
+const char *kvVerbName(KvVerb v);
+
+/** One client request as admitted by the serving engine. */
+struct KvRequest {
+    KvVerb verb = KvVerb::Get;
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+};
+
 /** gpKVS instance bound to one Machine. */
 class GpKvs
 {
@@ -113,6 +126,9 @@ class GpKvs
     /** The durable store equals @p reference? */
     bool durableEquals(const std::vector<KvPair> &reference) const;
 
+    /** FNV-1a fingerprint of the durable store image. */
+    std::uint64_t durableStoreHash() const;
+
     /** Visible-store lookup (functional checks). */
     bool lookup(std::uint64_t key, std::uint64_t &value_out) const;
 
@@ -134,14 +150,75 @@ class GpKvs
     /** chooseWay result when the target set is full (the SET fails). */
     static constexpr std::uint32_t kNoWay = 0xffffffffu;
 
-  private:
+    // ---- serving path (src/service) ----------------------------------
+
+    /**
+     * Map PM regions and create a serve-sized HCL log for transaction
+     * batches of up to @p max_batch_ops get/put/delete requests.
+     * Requires an in-kernel-persistence platform and the HCL log.
+     */
+    void serveSetup(std::uint32_t max_batch_ops);
+
+    /** Set index of @p key under this instance's geometry. */
+    std::uint32_t
+    setOf(std::uint64_t key) const
+    {
+        return static_cast<std::uint32_t>(hashKey(key) % p_.n_sets);
+    }
+
+    /**
+     * Execute one serving batch as a single logged+persisted kernel
+     * launch (the Figure 6a flow, extended with GET and DELETE verbs).
+     *
+     * Precondition (checked): every request targets a distinct set
+     * index — the dynamic batcher dedups on setOf() — so the kernel
+     * is block-independent (disjoint 128 B set lines) and batch
+     * results are order-free.
+     *
+     * @p results gets one result per request: GET -> value or 0 on
+     * miss; PUT -> 1 applied / 0 rejected (set full); DEL -> 1
+     * deleted / 0 absent.
+     *
+     * @p crash optionally arms a crash descriptor on the batch kernel;
+     * the KernelCrashed exception propagates to the caller, leaving
+     * the in-flight transaction for serveRecover().
+     */
+    void serveBatch(const std::vector<KvRequest> &reqs,
+                    std::vector<std::uint64_t> &results,
+                    const CrashPoint *crash = nullptr);
+
+    /**
+     * Reboot-time recovery entry point for the serving path: undo the
+     * in-flight batch if the durable txn flag says one was open, then
+     * truncate the log. @return true when recovery actually ran.
+     */
+    bool serveRecover();
+
+    /**
+     * Reference model of one serve request against a host-mirror set
+     * (exactly the kernel's placement/visibility policy). Mutates
+     * @p set_base for PUT/DEL. @return the expected result.
+     */
+    static std::uint64_t serveReference(KvPair *set_base,
+                                        const KvRequest &rq);
+
     struct Op {
         std::uint64_t key;
         std::uint64_t value;
         bool is_get;
     };
 
-    std::vector<Op> makeBatch(std::uint32_t batch) const;
+    /**
+     * Assemble batch @p batch into a reused member buffer (and a
+     * cached batch-0 buffer for GET retargeting), so steady-state
+     * batch assembly allocates nothing. The reference is valid until
+     * the next makeBatch call on this instance. Public so the
+     * allocation-churn microbench can drive assembly in isolation.
+     */
+    const std::vector<Op> &makeBatch(std::uint32_t batch) const;
+    void fillBatch(std::uint32_t batch, std::vector<Op> &out) const;
+
+  private:
     static std::uint32_t chooseWay(const KvPair *set_base,
                                    std::uint64_t key);
 
@@ -161,6 +238,10 @@ class GpKvs
     std::vector<GpmLog> log_;          ///< one log (vector for lazy init)
     std::vector<KvPair> host_copy_;    ///< CAP's volatile device copy
     std::vector<std::uint64_t> get_results_;  ///< last batch's GETs
+    mutable std::vector<Op> ops_buf_;   ///< makeBatch's reused buffer
+    mutable std::vector<Op> first_ops_; ///< cached batch 0 (GET targets)
+    mutable std::vector<std::uint32_t> set_scratch_;  ///< dedup check
+    std::uint32_t serve_max_ops_ = 0;   ///< serveSetup grid capacity
 };
 
 } // namespace gpm

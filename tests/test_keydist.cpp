@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the seeded key-distribution generators (zipfian and
+ * uniform) behind the serving engine's load generator.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/keydist.hpp"
+
+namespace gpm {
+namespace {
+
+TEST(KeyDist, NamesRoundTrip)
+{
+    EXPECT_EQ(keyDistKindFromName("uniform"), KeyDistKind::Uniform);
+    EXPECT_EQ(keyDistKindFromName("zipfian"), KeyDistKind::Zipfian);
+    EXPECT_STREQ(keyDistKindName(KeyDistKind::Uniform), "uniform");
+    EXPECT_STREQ(keyDistKindName(KeyDistKind::Zipfian), "zipfian");
+}
+
+TEST(KeyDist, DeterministicFromSeed)
+{
+    for (const KeyDistKind kind :
+         {KeyDistKind::Uniform, KeyDistKind::Zipfian}) {
+        KeyDist a(kind, 1 << 16, 7);
+        KeyDist b(kind, 1 << 16, 7);
+        KeyDist c(kind, 1 << 16, 8);
+        bool any_diff = false;
+        for (int i = 0; i < 1000; ++i) {
+            const std::uint64_t ra = a.nextRank();
+            EXPECT_EQ(ra, b.nextRank());
+            any_diff = any_diff || ra != c.nextRank();
+        }
+        EXPECT_TRUE(any_diff) << "seed does not influence the stream";
+    }
+}
+
+TEST(KeyDist, RanksStayInRange)
+{
+    for (const KeyDistKind kind :
+         {KeyDistKind::Uniform, KeyDistKind::Zipfian}) {
+        for (const std::uint64_t n : {1ull, 2ull, 3ull, 1000ull}) {
+            KeyDist d(kind, n, 11);
+            for (int i = 0; i < 2000; ++i)
+                EXPECT_LT(d.nextRank(), n);
+        }
+    }
+}
+
+TEST(KeyDist, KeysAreScrambledAndNonZero)
+{
+    EXPECT_NE(KeyDist::keyForRank(0), 0u);
+    // Adjacent ranks must not be adjacent keys (no artificial spatial
+    // locality for hot keys).
+    for (std::uint64_t r = 0; r < 64; ++r) {
+        const std::uint64_t k0 = KeyDist::keyForRank(r);
+        const std::uint64_t k1 = KeyDist::keyForRank(r + 1);
+        EXPECT_NE(k0, 0u);
+        EXPECT_GT(std::max(k0, k1) - std::min(k0, k1), 1u);
+    }
+}
+
+/** Zipfian skew: hot ranks dominate, with frequencies ordered by rank
+ *  and the head close to its theoretical share. */
+TEST(KeyDist, ZipfianSkewStatistics)
+{
+    const std::uint64_t n = 1 << 12;
+    const int draws = 200000;
+    KeyDist d(KeyDistKind::Zipfian, n, 42);
+    std::vector<std::uint64_t> freq(n, 0);
+    for (int i = 0; i < draws; ++i)
+        ++freq[d.nextRank()];
+
+    // Rank popularity must be (statistically) ordered.
+    EXPECT_GT(freq[0], freq[10]);
+    EXPECT_GT(freq[10], freq[100]);
+    EXPECT_GT(freq[100], freq[1000]);
+
+    // Theoretical head share: p(0) = 1/zeta(n, theta). For n = 4096,
+    // theta = 0.99, zeta ~ 8.47 -> p(0) ~ 11.8%. Allow a loose band.
+    const double p0 = static_cast<double>(freq[0]) / draws;
+    EXPECT_GT(p0, 0.08);
+    EXPECT_LT(p0, 0.16);
+
+    // The head of the distribution carries a hugely outsized share:
+    // the top 1% of ranks covers just under half the draws at
+    // theta 0.99, n = 4096 (a uniform head would get 1%).
+    std::uint64_t head = 0;
+    for (std::uint64_t r = 0; r < n / 100; ++r)
+        head += freq[r];
+    EXPECT_GT(static_cast<double>(head) / draws, 0.4);
+}
+
+/** Uniform: every decile gets its fair share. */
+TEST(KeyDist, UniformSpread)
+{
+    const std::uint64_t n = 1000;
+    const int draws = 100000;
+    KeyDist d(KeyDistKind::Uniform, n, 42);
+    std::vector<std::uint64_t> decile(10, 0);
+    for (int i = 0; i < draws; ++i)
+        ++decile[d.nextRank() * 10 / n];
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_GT(decile[i], draws / 10 * 0.9);
+        EXPECT_LT(decile[i], draws / 10 * 1.1);
+    }
+}
+
+/** Degenerate single-rank distribution still works (and is hot). */
+TEST(KeyDist, SingleRank)
+{
+    KeyDist z(KeyDistKind::Zipfian, 1, 3);
+    KeyDist u(KeyDistKind::Uniform, 1, 3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(z.nextRank(), 0u);
+        EXPECT_EQ(u.nextRank(), 0u);
+    }
+}
+
+} // namespace
+} // namespace gpm

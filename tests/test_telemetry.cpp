@@ -154,6 +154,57 @@ TEST(TelemetryMetrics, HistogramBinsAreLog2)
     EXPECT_EQ(tm::HistogramData::binOf(1e300), 63u);
 }
 
+TEST(TelemetryMetrics, HistogramQuantilesDegenerateCases)
+{
+    tm::HistogramData empty;
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    // One sample: every quantile is that sample.
+    tm::HistogramData one;
+    one.observe(37.0);
+    EXPECT_DOUBLE_EQ(one.quantile(0.0), 37.0);
+    EXPECT_DOUBLE_EQ(one.p50(), 37.0);
+    EXPECT_DOUBLE_EQ(one.p999(), 37.0);
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), 37.0);
+
+    // Identical samples: ditto, regardless of count.
+    tm::HistogramData same;
+    for (int i = 0; i < 1000; ++i)
+        same.observe(12.0);
+    EXPECT_DOUBLE_EQ(same.p50(), 12.0);
+    EXPECT_DOUBLE_EQ(same.p99(), 12.0);
+}
+
+TEST(TelemetryMetrics, HistogramQuantilesInterpolateWithinOneBin)
+{
+    // Uniform 1..1000: the log2-histogram contract is within one bin
+    // width (a factor of two) of the exact quantile, clamped to the
+    // observed range.
+    tm::HistogramData h;
+    for (int i = 1; i <= 1000; ++i)
+        h.observe(static_cast<double>(i));
+    const struct {
+        double q;
+        double exact;
+    } cases[] = {{0.50, 500.0}, {0.90, 900.0}, {0.99, 990.0}};
+    for (const auto &c : cases) {
+        const double est = h.quantile(c.q);
+        EXPECT_GE(est, c.exact / 2.0) << "q " << c.q;
+        EXPECT_LE(est, std::min(c.exact * 2.0, h.max)) << "q " << c.q;
+    }
+    // Quantiles are monotone in q and bounded by the observed range.
+    EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+    EXPECT_LE(h.p50(), h.p90());
+    EXPECT_LE(h.p90(), h.p99());
+    EXPECT_LE(h.p99(), h.p999());
+    EXPECT_GE(h.quantile(0.0), h.min);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), h.max);
+
+    // Out-of-range q clamps rather than misbehaving.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(1.5), h.max);
+}
+
 TEST(TelemetryMetrics, HotShardMergesAndClears)
 {
     tm::Registry r;

@@ -101,7 +101,9 @@ list()
     std::printf("workloads:");
     for (const std::string &w : registeredInvariants())
         std::printf(" %s", w.c_str());
-    std::printf("\ndomains: llc-volatile mc-durable llc-durable\n");
+    std::printf("\nextended workloads (opt-in via --workloads):"
+                " serve\n");
+    std::printf("domains: llc-volatile mc-durable llc-durable\n");
     std::printf("crash points: frac:<f> before-fence:<n> "
                 "after-fence:<n> after-store:<n>\n");
     std::printf("default grid:");

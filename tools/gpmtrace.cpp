@@ -163,6 +163,20 @@ printSummary(const Options &opt, const telemetry::Session &session,
         std::printf("  worker %-3u %10.1f us busy (%5.1f%%)\n", tid, us,
                     wall_end_us > 0 ? 100.0 * us / wall_end_us : 0.0);
     }
+
+    // Tail percentiles of every recorded distribution — the same
+    // log2-bin estimator gpmserve's latency accounting uses.
+    if (!snap.histograms.empty()) {
+        std::printf("\nhistogram percentiles (log2-bin estimates):\n");
+        std::printf("  %-32s %8s %10s %10s %10s %10s\n", "name",
+                    "count", "mean", "p50", "p99", "p999");
+        for (const auto &[name, h] : snap.histograms) {
+            std::printf("  %-32s %8llu %10.1f %10.1f %10.1f %10.1f\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(h.count),
+                        h.mean(), h.p50(), h.p99(), h.p999());
+        }
+    }
 }
 
 bool
