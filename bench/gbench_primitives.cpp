@@ -12,6 +12,7 @@
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
 #include "harness/experiments.hpp"
+#include "pmheap/gpm_map.hpp"
 
 namespace gpm {
 namespace {
@@ -149,6 +150,66 @@ BM_KvsMakeBatch(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * p.batch_ops);
 }
 BENCHMARK(BM_KvsMakeBatch)->Arg(256)->Arg(4096)->Arg(32768);
+
+void
+BM_HeapAllocFree(benchmark::State &state)
+{
+    // Steady-state allocator churn: one redo transaction allocating a
+    // batch of mixed-class slots, one transaction freeing them. Pins
+    // the cost of the txBegin record write + bitmap delta publication
+    // that every GpmMap batch pays.
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    gpmPersistBegin(m);
+    GpmHeapParams p;
+    p.name = "bmheap";
+    p.slots_per_class = 64;
+    GpmHeap heap(m, p);
+    heap.setup(true);
+    const std::uint32_t lens[4] = {24, 100, 700, 3000};
+    std::uint64_t batch = 1;
+    std::vector<std::uint64_t> handles;
+    handles.reserve(32);
+    for (auto _ : state) {
+        handles.clear();
+        for (unsigned i = 0; i < 32; ++i)
+            handles.push_back(heap.alloc(lens[i % 4]));
+        heap.txBegin(GpmHeap::TxMode::Commit, batch++, handles, {});
+        heap.txCommit();
+        heap.txBegin(GpmHeap::TxMode::Commit, batch++, {}, handles);
+        heap.txCommit();
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void
+BM_MapPut(benchmark::State &state)
+{
+    // Overwrite-heavy map batches: each iteration re-puts the same 16
+    // keys, so every op is alloc + stage + publish + free-old — the
+    // serving engine's worst-case per-op persistence cost.
+    SimConfig cfg;
+    Machine m(cfg, PlatformKind::Gpm, 16_MiB);
+    gpmPersistBegin(m);
+    GpmMapParams p;
+    p.name = "bmmap";
+    p.heap.name = "bmmap";
+    p.heap.slots_per_class = 64;
+    p.heap.max_tx_blob = 24 * 16;
+    GpmMap map(m, p);
+    map.setup(true);
+    std::vector<MapOp> ops;
+    for (std::uint64_t k = 1; k <= 16; ++k)
+        ops.push_back({MapOp::Verb::Put, k,
+                       static_cast<std::uint32_t>(24 * (1 + k % 4)), k});
+    for (auto _ : state) {
+        const auto res = map.runBatch(ops);
+        benchmark::DoNotOptimize(res.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ops.size());
+}
+BENCHMARK(BM_MapPut);
 
 void
 BM_HclInsert(benchmark::State &state)

@@ -253,6 +253,12 @@ registeredInvariants()
     return {"kvs", "db-insert", "db-update", "prefix-sum", "srad"};
 }
 
+std::vector<std::string>
+extendedInvariants()
+{
+    return {"serve", "pmheap"};
+}
+
 std::unique_ptr<RecoveryInvariant>
 makeInvariant(const std::string &name)
 {
@@ -268,7 +274,14 @@ makeInvariant(const std::string &name)
         return std::make_unique<SradInvariant>();
     if (name == "serve")
         return makeServeInvariant();
-    fatal("unknown torture workload '", name, "'");
+    if (name == "pmheap")
+        return makePmheapInvariant();
+    std::string valid;
+    for (const std::string &n : registeredInvariants())
+        valid += valid.empty() ? n : ", " + n;
+    for (const std::string &n : extendedInvariants())
+        valid += ", " + n;
+    fatal("unknown torture workload '", name, "' (valid: ", valid, ")");
 }
 
 } // namespace gpm

@@ -111,9 +111,18 @@ std::vector<std::string> registeredInvariants();
 std::unique_ptr<RecoveryInvariant> makeInvariant(
     const std::string &name);
 
+/** Extended (opt-in) adapter names reachable via makeInvariant and
+ *  --workloads but excluded from the default axis. */
+std::vector<std::string> extendedInvariants();
+
 /** The "serve" adapter: a mid-traffic power failure inside the
  *  ServiceEngine (src/service) — acknowledged-write durability across
  *  key-sharded multi-pool pipelines. Defined in serve_invariant.cpp. */
 std::unique_ptr<RecoveryInvariant> makeServeInvariant();
+
+/** The "pmheap" adapter: GpmHeap/GpmMap allocator + container crash
+ *  consistency (leak and double-allocation checked against a host
+ *  oracle). Defined in pmheap_invariant.cpp. */
+std::unique_ptr<RecoveryInvariant> makePmheapInvariant();
 
 } // namespace gpm

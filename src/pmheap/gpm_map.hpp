@@ -1,0 +1,148 @@
+/**
+ * @file
+ * GpmMap: a crash-consistent hash map of variable-size objects,
+ * the first container built on GpmHeap.
+ *
+ * Layout: a PM directory of groups, 8 ways per group, one 16-byte
+ * entry {key, handle} per way — a group is exactly one 128 B crash
+ * line, mirroring the GpKvs set shape. A key hashes to one group and
+ * lives in one of its ways; values are GpmHeap objects named by the
+ * entry's handle.
+ *
+ * A batch commits with atomic multi-word semantics using the heap's
+ * redo record (Commit mode):
+ *
+ *   plan (host)      probe the directory, allocate slots, pick the
+ *                    exact (group, way) every entry write will hit
+ *   stage (device)   write payloads into still-unreachable slots,
+ *                    fence
+ *   txBegin          redo record body = the planned directory writes;
+ *                    record flag durable BEFORE any publication —
+ *                    the commit-before-data rule gpmcheck enforces
+ *   publish (device) leader threads store the 16 B entries, fence
+ *   txCommit         bitmap deltas + record retired
+ *
+ * Crash at any point and recover() is deterministic: a Commit record
+ * replays every planned entry write from the blob (idempotent), then
+ * GpmHeap::recover() rolls the bitmap forward; no record means no
+ * publication happened and the staged slots were never reachable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/kernel.hpp"
+#include "pmheap/gpm_heap.hpp"
+
+namespace gpm {
+
+/** One 16-byte directory entry; key 0 = empty way. */
+struct MapEntry {
+    std::uint64_t key = 0;
+    std::uint64_t handle = 0;
+};
+
+/** One mutation in a GpmMap batch. */
+struct MapOp {
+    enum class Verb : std::uint8_t { Put, Del };
+    Verb verb = Verb::Put;
+    std::uint64_t key = 0;       ///< nonzero
+    std::uint32_t len = 0;       ///< value bytes (Put)
+    std::uint64_t seed = 0;      ///< value payload seed (Put)
+};
+
+/** Host-side oracle value for one key. */
+struct MapOracleValue {
+    std::uint32_t len = 0;
+    std::uint64_t seed = 0;
+};
+
+struct GpmMapParams {
+    std::string name = "gpmmap";
+    std::uint32_t n_groups = 64;
+    GpmHeapParams heap;
+
+    static constexpr std::uint32_t kWays = 8;
+
+    std::uint64_t dirBytes() const
+    {
+        return std::uint64_t(n_groups) * kWays * sizeof(MapEntry);
+    }
+};
+
+class GpmMap
+{
+  public:
+    GpmMap(Machine &m, const GpmMapParams &p);
+
+    /** Map directory + heap regions, declare analyzer intent
+     *  (dir is Data with a 16 B atomic granule; the heap's redo
+     *  record must be durable before any dir publication). */
+    void setup(bool create);
+
+    /**
+     * Apply one batch of mutations crash-atomically.
+     *
+     * Keys must be nonzero and distinct within the batch. Results are
+     * 1 per applied op, 0 per rejected op (Put into a full group, Del
+     * of an absent key). Ops rejected at plan time cost nothing
+     * durable.
+     *
+     * @p crash_stage / @p crash_publish arm a fault-injection point on
+     * the staging or publication launch (torture harness); an armed
+     * launch throws KernelCrashed through, leaving recover() to
+     * reconcile.
+     */
+    std::vector<std::uint8_t>
+    runBatch(const std::vector<MapOp> &ops,
+             const std::optional<CrashPoint> &crash_stage = {},
+             const std::optional<CrashPoint> &crash_publish = {});
+
+    /** Reboot path: replay an in-flight Commit record's directory
+     *  writes, reconcile the heap, reopen for traffic.
+     *  @return true when an in-flight record was reconciled. */
+    bool recover();
+
+    /** Visible-image lookup; false when absent. */
+    bool get(std::uint64_t key, MapEntry &out) const;
+
+    /** Device-side value check: hash of the stored payload bytes. */
+    std::uint64_t readValueHash(ThreadCtx &ctx,
+                                std::uint64_t handle) const;
+
+    // ---- crash oracle ---------------------------------------------------
+
+    /**
+     * Compare durable state against a host oracle: every oracle key
+     * present exactly once with matching length and payload hash, no
+     * extra entries, and the set of directory handles in bijection
+     * with the heap's allocation bitmap (leaks and double-allocations
+     * both break the bijection).
+     */
+    bool durableEqualsOracle(
+        const std::vector<std::pair<std::uint64_t, MapOracleValue>>
+            &oracle) const;
+
+    /** FNV over durable directory + allocation bitmap. */
+    std::uint64_t durableStateHash() const;
+
+    GpmHeap &heap() { return heap_; }
+    const GpmMapParams &params() const { return p_; }
+    std::uint32_t batchSeq() const { return batch_seq_; }
+
+    std::uint64_t groupOf(std::uint64_t key) const;
+
+  private:
+    std::uint64_t entryAddr(std::uint32_t group, std::uint32_t way) const;
+
+    Machine *m_;
+    GpmMapParams p_;
+    GpmHeap heap_;
+    PmRegion dir_;
+    std::uint32_t batch_seq_ = 0;
+};
+
+} // namespace gpm

@@ -99,7 +99,26 @@ ServiceEngine::ServiceEngine(const ServeConfig &cfg)
     const std::uint64_t log_bytes =
         std::uint64_t(cfg_.batch_max) * GpKvsParams::kGroup * 64 +
         (1u << 20);
-    const std::uint64_t capacity = kp.storeBytes() + log_bytes;
+    std::uint64_t capacity = kp.storeBytes() + log_bytes;
+
+    // Variable-size mode: power-of-two size classes covering the
+    // configured payload range, one heap per shard.
+    GpmHeapParams hp;
+    if (varMode()) {
+        GPM_REQUIRE(cfg_.value_bytes_min >= 1 &&
+                        cfg_.value_bytes_min <= cfg_.value_bytes_max,
+                    "value size range [", cfg_.value_bytes_min, ", ",
+                    cfg_.value_bytes_max, "] is invalid");
+        hp.class_sizes.clear();
+        for (std::uint32_t cs = 16;; cs *= 2) {
+            hp.class_sizes.push_back(cs);
+            if (cs >= cfg_.value_bytes_max)
+                break;
+        }
+        hp.slots_per_class = cfg_.heap_slots_per_class;
+        hp.max_tx_ops = 2u * cfg_.batch_max;
+        capacity += hp.poolBytes();
+    }
 
     Rng seeder(cfg_.seed);
     shards_.resize(cfg_.shards);
@@ -108,7 +127,10 @@ ServiceEngine::ServiceEngine(const ServeConfig &cfg)
         sh.machine = std::make_unique<Machine>(
             sim, cfg_.platform, capacity, seeder.split(100 + s).next());
         sh.kvs = std::make_unique<GpKvs>(*sh.machine, kp);
-        sh.kvs->serveSetup(cfg_.batch_max);
+        if (varMode())
+            sh.kvs->serveSetupVar(cfg_.batch_max, hp);
+        else
+            sh.kvs->serveSetup(cfg_.batch_max);
         sh.mirror.assign(
             std::uint64_t(cfg_.n_sets) * GpKvsParams::kWays, KvPair{});
         // The service opens one long-lived persist window for all of
@@ -126,6 +148,15 @@ ServiceEngine::push(SimNs t, int kind, std::uint32_t a, std::uint64_t b)
 {
     heap_.push_back(Event{t, kind, event_seq_++, a, b});
     std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+}
+
+std::uint64_t
+ServiceEngine::applyReference(Shard &sh, const KvRequest &rq,
+                              std::uint32_t set) const
+{
+    KvPair *base = &sh.mirror[std::uint64_t(set) * GpKvsParams::kWays];
+    return varMode() ? GpKvs::serveReferenceVar(base, rq)
+                     : GpKvs::serveReference(base, rq);
 }
 
 std::uint32_t
@@ -155,6 +186,13 @@ ServiceEngine::issueRequest(std::uint32_t client, SimNs now)
     } else {
         op.rq.verb = KvVerb::Put;
         op.rq.value = verb_rng_.next() | 1;
+        // Gated draw: the legacy (inline-value) request stream stays
+        // byte-identical, preserving its pinned ack signature.
+        if (varMode())
+            op.rq.value_len =
+                cfg_.value_bytes_min +
+                static_cast<std::uint32_t>(verb_rng_.below(
+                    cfg_.value_bytes_max - cfg_.value_bytes_min + 1));
     }
     op.t_request = now;
 
@@ -298,10 +336,8 @@ ServiceEngine::flushLaunches()
         // Oracle: every response must match the host mirror, applied
         // in launch order with the kernel's own placement policy.
         for (std::size_t j = 0; j < sh.batch_meta.size(); ++j) {
-            const std::uint64_t expected = GpKvs::serveReference(
-                &sh.mirror[std::uint64_t(sh.batch_meta[j].set) *
-                           GpKvsParams::kWays],
-                sh.batch_meta[j].rq);
+            const std::uint64_t expected = applyReference(
+                sh, sh.batch_meta[j].rq, sh.batch_meta[j].set);
             if (expected != sh.batch_results[j])
                 ++rep_.oracle_failures;
         }
@@ -329,10 +365,8 @@ ServiceEngine::flushLaunches()
             // batch committed (still unacked — the power failure
             // beats the ack).
             for (std::size_t j = 0; j < sh.batch_meta.size(); ++j)
-                GpKvs::serveReference(
-                    &sh.mirror[std::uint64_t(sh.batch_meta[j].set) *
-                               GpKvsParams::kWays],
-                    sh.batch_meta[j].rq);
+                applyReference(sh, sh.batch_meta[j].rq,
+                               sh.batch_meta[j].set);
         }
         crashed_ = true;
         crashAndRecover();
@@ -352,6 +386,8 @@ ServiceEngine::onBatchDone(std::uint32_t s, SimNs now)
         h = fnv1aU64(static_cast<std::uint64_t>(op.rq.verb), h);
         h = fnv1aU64(op.rq.key, h);
         h = fnv1aU64(op.rq.value, h);
+        if (varMode())
+            h = fnv1aU64(op.rq.value_len, h);
         h = fnv1aU64(sh.batch_results[j], h);
         h = fnv1aU64(bitsOf(op.t_request), h);
         h = fnv1aU64(bitsOf(now), h);
@@ -386,8 +422,10 @@ ServiceEngine::crashAndRecover()
     // batch was rolled back whole.
     std::uint64_t h = kFnvOffset;
     for (Shard &sh : shards_) {
-        rep_.durable_ok =
-            sh.kvs->durableEquals(sh.mirror) && rep_.durable_ok;
+        rep_.durable_ok = (varMode()
+                               ? sh.kvs->durableEqualsVar(sh.mirror)
+                               : sh.kvs->durableEquals(sh.mirror)) &&
+                          rep_.durable_ok;
         h = fnv1aU64(sh.kvs->durableStoreHash(), h);
         const PmPoolStats &ps = sh.machine->pool().stats();
         rep_.pool_crashes += ps.crashes;

@@ -79,6 +79,19 @@ struct ServeConfig {
      * the expected ddio-trap, never as silent success.
      */
     bool open_persist_window = true;
+    // ---- variable-size values (GpmHeap-backed, docs/pmheap.md) -------
+    /**
+     * value_bytes_max > 0 switches every shard to the variable-size
+     * serve path: PUT payloads are heap objects of a length drawn
+     * uniformly from [value_bytes_min, value_bytes_max], GETs answer
+     * with the stored payload's hash, and crash recovery reconciles
+     * the per-shard GpmHeap. 0 keeps the legacy inline-8B path (and
+     * its pinned ack signature) byte-identical.
+     */
+    std::uint32_t value_bytes_min = 0;
+    std::uint32_t value_bytes_max = 0;
+    /** Heap slots per size class in variable-size mode. */
+    std::uint32_t heap_slots_per_class = 4096;
     // ---- crash injection ---------------------------------------------
     std::int64_t crash_at_launch = -1;  ///< global launch ordinal, -1 off
     CrashPoint crash_point;             ///< armed on the doomed launch
@@ -170,6 +183,10 @@ class ServiceEngine
 
     void push(SimNs t, int kind, std::uint32_t a, std::uint64_t b = 0);
     std::uint32_t shardOf(std::uint64_t key) const;
+    bool varMode() const { return cfg_.value_bytes_max > 0; }
+    /** serveReference / serveReferenceVar, per the configured mode. */
+    std::uint64_t applyReference(Shard &sh, const KvRequest &rq,
+                                 std::uint32_t set) const;
     void issueRequest(std::uint32_t client, SimNs now);
     void admit(AdmittedOp op, SimNs now);
     void maybeLaunch(std::uint32_t s, SimNs now);

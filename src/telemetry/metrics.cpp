@@ -43,9 +43,11 @@ HistogramData::quantile(double q) const
 {
     if (count == 0)
         return 0.0;
-    if (q < 0.0)
+    // NaN fails both ordered comparisons, so clamp via the negated
+    // form — otherwise it flows into the rank cast as garbage.
+    if (!(q >= 0.0))
         q = 0.0;
-    if (q > 1.0)
+    else if (q > 1.0)
         q = 1.0;
     // Rank of the selected sample, 1-based: ceil(q * count), at least 1.
     std::uint64_t rank = static_cast<std::uint64_t>(

@@ -603,7 +603,13 @@ GpKvs::durableEquals(const std::vector<KvPair> &reference) const
 std::uint64_t
 GpKvs::durableStoreHash() const
 {
-    return fnv1a(m_->pool().durable() + store_.offset, p_.storeBytes());
+    std::uint64_t h =
+        fnv1a(m_->pool().durable() + store_.offset, p_.storeBytes());
+    // Variable-size serving: fold the heap's durable allocation state
+    // so two runs differing only in slot accounting can't collide.
+    if (serve_heap_)
+        h = fnv1aU64(serve_heap_->durableBitmapHash(), h);
+    return h;
 }
 
 bool
@@ -682,6 +688,10 @@ GpKvs::serveBatch(const std::vector<KvRequest> &reqs,
                 "serve batch carries two requests on one set");
 
     results.assign(reqs.size(), 0);
+    if (serve_heap_) {
+        serveBatchVar(reqs, results, crash);
+        return;
+    }
     const std::uint32_t batch_id =
         m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
     const std::uint32_t flag_and_batch[2] = {1u, batch_id};
@@ -759,13 +769,188 @@ GpKvs::serveBatch(const std::vector<KvRequest> &reqs,
     log_.front().clearAll();
 }
 
+void
+GpKvs::serveSetupVar(std::uint32_t max_batch_ops, GpmHeapParams heap)
+{
+    serveSetup(max_batch_ops);
+    heap.name = "gpkvs.heap";
+    // One record covers a whole batch: each op allocates at most one
+    // slot (PUT) and frees at most one (overwrite or DEL).
+    heap.max_tx_ops =
+        std::max<std::uint32_t>(heap.max_tx_ops, 2u * max_batch_ops);
+    heap.max_tx_blob = 0;
+    serve_heap_ = std::make_unique<GpmHeap>(*m_, heap);
+    serve_heap_->setup(/*create=*/true);
+    if (PmEventRecorder *rec = m_->pool().recorder()) {
+        // The Intent record is durable before the serve kernel
+        // publishes any handle into the directory.
+        rec->declareOrder(serve_heap_->redoLabel(), "gpkvs.data",
+                          /*strict=*/false);
+    }
+}
+
+void
+GpKvs::serveBatchVar(const std::vector<KvRequest> &reqs,
+                     std::vector<std::uint64_t> &results,
+                     const CrashPoint *crash)
+{
+    // ---- host plan: predict each PUT's way and every handle this
+    // batch replaces or deletes. One op per set (checked by the
+    // caller) means the kernel probes exactly the state the plan saw,
+    // so the prediction is exact.
+    plan_handles_.assign(reqs.size(), 0);
+    std::vector<std::uint64_t> allocs, frees;
+    struct StagedVal {
+        std::uint64_t handle;
+        std::uint64_t seed;
+    };
+    std::vector<StagedVal> staged;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const KvRequest &rq = reqs[i];
+        if (rq.verb == KvVerb::Get)
+            continue;
+        const std::uint32_t set = setOf(rq.key);
+        KvPair ways[GpKvsParams::kWays];
+        m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+        if (rq.verb == KvVerb::Put) {
+            GPM_REQUIRE(rq.value_len > 0,
+                        "variable-size PUT carries no length");
+            const std::uint32_t way = chooseWay(ways, rq.key);
+            if (way == kNoWay)
+                continue;  // set full: the PUT is rejected
+            if (ways[way].key == rq.key)
+                frees.push_back(ways[way].value);
+            const std::uint64_t h = serve_heap_->alloc(rq.value_len);
+            allocs.push_back(h);
+            staged.push_back({h, rq.value});
+            plan_handles_[i] = h;
+        } else {
+            for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+                if (ways[w].key == rq.key)
+                    frees.push_back(ways[w].value);
+            }
+        }
+    }
+
+    // ---- stage payloads into the still-unreachable slots. A crash
+    // from here on is reconciled by serveRecover(); the popped free
+    // slots come back with the heap's bitmap rebuild.
+    if (!staged.empty()) {
+        KernelDesc k;
+        k.name = "gpkvs_serve_stage";
+        k.blocks = static_cast<std::uint32_t>(staged.size());
+        k.block_threads = GpKvsParams::kGroup;
+        k.block_independent = true;
+        k.phases.push_back([this, &staged](ThreadCtx &ctx) {
+            const std::uint64_t b =
+                ctx.globalId() / GpKvsParams::kGroup;
+            if (ctx.globalId() % GpKvsParams::kGroup != 0) {
+                ctx.work(1);
+                return;
+            }
+            serve_heap_->stagePayload(ctx, staged[b].handle,
+                                      staged[b].seed);
+            gpmPersist(ctx);
+        });
+        m_->runKernel(k);
+    }
+
+    // ---- Intent record: the slot deltas this batch will make real.
+    // The record never self-commits — the kvs txn flag below is the
+    // composite commit point serveRecover() consults.
+    const std::uint32_t batch_id =
+        m_->pool().load<std::uint32_t>(meta_.offset + kBatchIdOff);
+    serve_heap_->txBegin(GpmHeap::TxMode::Intent, batch_id, allocs,
+                         frees);
+
+    const std::uint32_t flag_and_batch[2] = {1u, batch_id};
+    m_->cpuWritePersist(meta_.offset, flag_and_batch, 8, 1);
+
+    const std::uint64_t threads =
+        std::uint64_t(reqs.size()) * GpKvsParams::kGroup;
+    const std::uint32_t tpb = 256;
+    KernelDesc k;
+    k.name = "gpkvs_serve";
+    k.blocks = static_cast<std::uint32_t>(ceilDiv(threads, tpb));
+    k.block_threads = tpb;
+    k.block_independent = true;
+    if (crash)
+        k.crash = *crash;
+    k.phases.push_back([this, &reqs, &results, batch_id](ThreadCtx &ctx) {
+        const std::uint64_t gtid = ctx.globalId();
+        const std::uint64_t op_idx = gtid / GpKvsParams::kGroup;
+        if (op_idx >= reqs.size())
+            return;
+        const KvRequest &rq = reqs[op_idx];
+        ctx.work(40);  // hashing + probe arithmetic
+        const std::uint32_t set = setOf(rq.key);
+
+        if (rq.verb == KvVerb::Get) {
+            if (gtid % GpKvsParams::kGroup == 0) {
+                ctx.hbmTraffic(GpKvsParams::kWays * sizeof(KvPair));
+                ctx.work(20);
+                KvPair ways[GpKvsParams::kWays];
+                m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+                for (const KvPair &pair : ways) {
+                    if (pair.key == rq.key)
+                        results[op_idx] = serve_heap_->readPayloadHash(
+                            ctx, pair.value);
+                }
+            }
+            return;
+        }
+
+        KvPair ways[GpKvsParams::kWays];
+        m_->pool().read(pairAddr(set, 0), ways, sizeof(ways));
+        ctx.hbmTraffic(sizeof(KvPair));
+
+        std::uint32_t way = kNoWay;
+        if (rq.verb == KvVerb::Put) {
+            way = chooseWay(ways, rq.key);
+        } else {
+            for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+                if (ways[w].key == rq.key)
+                    way = w;
+            }
+        }
+        if (way == kNoWay || gtid % GpKvsParams::kGroup != way)
+            return;  // not the leader (PUT on full set / DEL miss)
+
+        EpochEntry entry;
+        entry.e = KvLogEntry{set, way, ways[way].key, ways[way].value};
+        entry.batch = batch_id;
+        log_.front().insert(ctx, &entry, sizeof(entry));
+        KvPair next{};
+        if (rq.verb == KvVerb::Put) {
+            GPM_ASSERT(plan_handles_[op_idx] != 0,
+                       "kernel way diverged from the host plan");
+            next = KvPair{rq.key, plan_handles_[op_idx]};
+        }
+        ctx.pmStore(pairAddr(set, way), next);
+        gpmPersist(ctx);
+        results[op_idx] = 1;
+    });
+    m_->runKernel(k);  // KernelCrashed propagates; record + flag stay
+    m_->advance(log_.front().consumeSerializationNs());
+
+    // Transaction epilogue — THE commit point: after this store is
+    // durable the batch is acknowledgeable and serveRecover() rolls
+    // the Intent record forward instead of discarding it.
+    const std::uint32_t done_and_next[2] = {0u, batch_id + 1};
+    m_->cpuWritePersist(meta_.offset, done_and_next, 8, 1);
+
+    serve_heap_->txCommit();
+    log_.front().clearAll();
+}
+
 bool
 GpKvs::serveRecover()
 {
     GPM_REQUIRE(serve_max_ops_ > 0, "serveSetup() was not called");
     bool ran = false;
-    if (m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff) ==
-        1) {
+    const std::uint32_t flag =
+        m_->pool().load<std::uint32_t>(meta_.offset + kTxnFlagOff);
+    if (flag == 1) {
         // Recovery opens its own persist window: a reboot-time
         // procedure gets to configure DDIO even if the crashed
         // service left it in either state.
@@ -775,6 +960,30 @@ GpKvs::serveRecover()
         if (m_->kind() == PlatformKind::Gpm)
             gpmPersistEnd(*m_);
         ran = true;
+    }
+    if (serve_heap_) {
+        // Composite commit decision. The record is Intent-mode, so
+        // the heap alone would discard it; it rolls forward exactly
+        // when the epilogue ran before the crash — txn flag clear AND
+        // the batch counter advanced past the record's batch. flag==1
+        // means the undo above just restored the old references, and
+        // a record whose prologue never ran (flag clear, counter not
+        // advanced) published nothing — both discard.
+        GpmHeap::InFlight rec;
+        const bool in_flight = serve_heap_->inFlight(rec);
+        const bool committed =
+            in_flight && flag == 0 &&
+            m_->pool().load<std::uint32_t>(meta_.offset +
+                                           kBatchIdOff) ==
+                rec.batch_id + 1;
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistBegin(*m_);
+        {
+            PmRecoveryScope scope(m_->pool().recorder());
+            ran = serve_heap_->recover(committed) || ran;
+        }
+        if (m_->kind() == PlatformKind::Gpm)
+            gpmPersistEnd(*m_);
     }
     log_.front().clearAll();
     return ran;
@@ -804,6 +1013,68 @@ GpKvs::serveReference(KvPair *set_base, const KvRequest &rq)
         }
     }
     return 0;
+}
+
+std::uint64_t
+GpKvs::serveReferenceVar(KvPair *set_base, const KvRequest &rq)
+{
+    if (rq.verb == KvVerb::Get) {
+        for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+            if (set_base[w].key == rq.key)
+                return set_base[w].value;  // the expected payload hash
+        }
+        return 0;
+    }
+    if (rq.verb == KvVerb::Put) {
+        const std::uint32_t way = chooseWay(set_base, rq.key);
+        if (way == kNoWay)
+            return 0;
+        set_base[way] = KvPair{
+            rq.key, GpmHeap::payloadHash(rq.value, rq.value_len)};
+        return 1;
+    }
+    for (std::uint32_t w = 0; w < GpKvsParams::kWays; ++w) {
+        if (set_base[w].key == rq.key) {
+            set_base[w] = KvPair{};
+            return 1;
+        }
+    }
+    return 0;
+}
+
+bool
+GpKvs::durableEqualsVar(const std::vector<KvPair> &reference) const
+{
+    GPM_REQUIRE(serve_heap_ != nullptr,
+                "durableEqualsVar without serveSetupVar");
+    const std::uint64_t n =
+        std::uint64_t(p_.n_sets) * GpKvsParams::kWays;
+    GPM_REQUIRE(reference.size() == n, "reference mirror of ",
+                reference.size(), " slots, store has ", n);
+    const std::uint8_t *img = m_->pool().durable();
+    std::vector<std::uint64_t> live;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        KvPair d;
+        std::memcpy(&d, img + store_.offset + i * sizeof(KvPair),
+                    sizeof(d));
+        const KvPair &r = reference[i];
+        if (d.key != r.key)
+            return false;
+        if (d.key == 0) {
+            if (d.value != 0)
+                return false;
+            continue;
+        }
+        // The mirror stores the expected payload hash where the
+        // directory stores a handle.
+        if (serve_heap_->durablePayloadHash(d.value) != r.value)
+            return false;
+        live.push_back(GpmHeap::offOf(d.value));
+    }
+    // Leak / double-allocation check: live handles and durable bitmap
+    // bits must be the same set.
+    std::sort(live.begin(), live.end());
+    return live == serve_heap_->durableAllocatedOffsets();
 }
 
 void

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gpm/gpm_log.hpp"
 #include "gpusim/kernel.hpp"
+#include "pmheap/gpm_heap.hpp"
 #include "workloads/workload.hpp"
 
 namespace gpm {
@@ -79,7 +81,10 @@ const char *kvVerbName(KvVerb v);
 struct KvRequest {
     KvVerb verb = KvVerb::Get;
     std::uint64_t key = 0;
+    /** Inline 8 B value; in variable-size mode the payload seed. */
     std::uint64_t value = 0;
+    /** Variable-size mode only: payload bytes (> 0 for every PUT). */
+    std::uint32_t value_len = 0;
 };
 
 /** gpKVS instance bound to one Machine. */
@@ -159,6 +164,18 @@ class GpKvs
      */
     void serveSetup(std::uint32_t max_batch_ops);
 
+    /**
+     * Variable-size serving: serveSetup plus a GpmHeap for
+     * out-of-line values (docs/pmheap.md). KvPair.value holds a heap
+     * handle; a PUT carries (value = payload seed, value_len = bytes)
+     * and a GET answers with the FNV hash of the stored payload.
+     * @p heap is the slot geometry; name/tx sizing are forced here.
+     */
+    void serveSetupVar(std::uint32_t max_batch_ops, GpmHeapParams heap);
+
+    /** Non-null after serveSetupVar(): the value heap. */
+    const GpmHeap *serveHeap() const { return serve_heap_.get(); }
+
     /** Set index of @p key under this instance's geometry. */
     std::uint32_t
     setOf(std::uint64_t key) const
@@ -202,6 +219,23 @@ class GpKvs
     static std::uint64_t serveReference(KvPair *set_base,
                                         const KvRequest &rq);
 
+    /**
+     * Variable-size twin of serveReference: the mirror stores the
+     * expected payload hash where the kernel stores a heap handle, so
+     * GET results compare directly. Mutates @p set_base for PUT/DEL.
+     */
+    static std::uint64_t serveReferenceVar(KvPair *set_base,
+                                           const KvRequest &rq);
+
+    /**
+     * Variable-size durable check: every durable (key, handle) slot
+     * must match @p reference positionally, each handle's durable
+     * payload must hash to the mirror's expected value, and the set
+     * of live handles must be exactly the heap's durably allocated
+     * slots (no leaks, no double allocations).
+     */
+    bool durableEqualsVar(const std::vector<KvPair> &reference) const;
+
     struct Op {
         std::uint64_t key;
         std::uint64_t value;
@@ -229,6 +263,13 @@ class GpKvs
     /** Launch the recovery kernel of Figure 6(b). */
     void recover();
 
+    /** Variable-size serveBatch body (dispatched when a heap exists):
+     *  host plan -> stage kernel -> Intent record -> txn flag ->
+     *  serve kernel -> epilogue -> heap txCommit. */
+    void serveBatchVar(const std::vector<KvRequest> &reqs,
+                       std::vector<std::uint64_t> &results,
+                       const CrashPoint *crash);
+
     std::uint64_t pairAddr(std::uint32_t set, std::uint32_t way) const;
 
     Machine *m_;
@@ -242,6 +283,8 @@ class GpKvs
     mutable std::vector<Op> first_ops_; ///< cached batch 0 (GET targets)
     mutable std::vector<std::uint32_t> set_scratch_;  ///< dedup check
     std::uint32_t serve_max_ops_ = 0;   ///< serveSetup grid capacity
+    std::unique_ptr<GpmHeap> serve_heap_;  ///< variable-size value heap
+    std::vector<std::uint64_t> plan_handles_;  ///< per-op PUT handle
 };
 
 } // namespace gpm

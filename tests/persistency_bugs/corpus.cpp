@@ -620,6 +620,100 @@ class HostOnlyCommitBug : public BugInvariant
     PmRegion data_, flag_;
 };
 
+// ---- late-redo ---------------------------------------------------------
+// GpmHeap's redo protocol inverted: the kernel publishes allocation
+// bitmap bits and only afterwards writes the redo record that
+// justifies them. A crash after the publication fence leaves durable
+// bits no record explains — leaked slots recovery cannot reconcile.
+// The fixed twin is the real heap shape: the *host* persists the
+// whole record before the kernel publishes a single bit.
+class LateRedoBug : public BugInvariant
+{
+  public:
+    using BugInvariant::BugInvariant;
+
+    std::string
+    name() const override
+    {
+        return suffixed("late-redo", fixed_);
+    }
+
+    std::uint64_t doomedThreadPhases() const override { return kSlots; }
+
+  protected:
+    static constexpr std::uint32_t kSlots = 8;  ///< one per thread
+
+    void
+    doomed(Machine &m, const CrashPoint &point) override
+    {
+        bitmap_ = gpmMap(m, "bug.heap.bitmap", kSlots * 8, true);
+        redo_ = gpmMap(m, "bug.heap.redo", kSlots * 8, true);
+        if (PmEventRecorder *rec = m.pool().recorder()) {
+            rec->declareRange("bug.heap.bitmap", bitmap_.offset,
+                              kSlots * 8, 0, PmRangeKind::Data);
+            rec->declareRange("bug.heap.redo", redo_.offset, kSlots * 8,
+                              0, PmRangeKind::Commit);
+            // The record must be durable before the bits it covers —
+            // exactly GpmHeap::setup()'s declaration.
+            rec->declareOrder("bug.heap.redo", "bug.heap.bitmap",
+                              /*strict=*/false);
+        }
+        if (fixed_) {
+            // Host-written record first (GpmHeap::txBegin's shape).
+            std::uint64_t rec_words[kSlots];
+            for (std::uint32_t t = 0; t < kSlots; ++t)
+                rec_words[t] = 1;
+            m.cpuWritePersist(redo_.offset, rec_words, kSlots * 8, 1);
+        }
+        KernelDesc k;
+        k.name = suffixed("bug_heap_alloc", fixed_);
+        k.blocks = 1;
+        k.block_threads = kSlots;
+        k.crash = point;
+        k.phases.push_back([this](ThreadCtx &ctx) {
+            const std::uint32_t t = ctx.threadIdx();
+            ctx.pmStore<std::uint64_t>(bitmap_.offset + t * 8, 1);
+            ctx.threadfenceSystem();  // the bit is now durable...
+            if (!fixed_) {  // ...and only then does its record follow
+                ctx.pmStore<std::uint64_t>(redo_.offset + t * 8, 1);
+                ctx.threadfenceSystem();
+            }
+        });
+        m.runKernel(k);
+    }
+
+    bool
+    recover(Machine &m) override
+    {
+        // A record without its bit rolls forward (redo semantics); a
+        // bit without its record is a leaked slot — the violation.
+        bool ok = true;
+        for (std::uint32_t t = 0; t < kSlots; ++t) {
+            const std::uint64_t bit =
+                m.pool().loadDurable<std::uint64_t>(bitmap_.offset +
+                                                    t * 8);
+            const std::uint64_t rec =
+                m.pool().loadDurable<std::uint64_t>(redo_.offset +
+                                                    t * 8);
+            if (bit > 1 || rec > 1)
+                ok = false;
+            if (bit == 1 && rec == 0)
+                ok = false;
+        }
+        return ok;
+    }
+
+    std::uint64_t
+    stateHash(Machine &m) const override
+    {
+        std::uint64_t h = fnv1a(m.pool().durable() + bitmap_.offset,
+                                kSlots * 8);
+        return fnv1a(m.pool().durable() + redo_.offset, kSlots * 8, h);
+    }
+
+    PmRegion bitmap_, redo_;
+};
+
 } // namespace
 
 std::vector<std::string>
@@ -630,7 +724,8 @@ registeredBugs()
             "coalesced-tail",   "coalesced-tail-fixed",
             "torn-value",       "torn-value-fixed",
             "double-flush",     "double-flush-fixed",
-            "host-only-commit", "host-only-commit-fixed"};
+            "host-only-commit", "host-only-commit-fixed",
+            "late-redo",        "late-redo-fixed"};
 }
 
 std::unique_ptr<RecoveryInvariant>
@@ -652,6 +747,8 @@ makeBugInvariant(const std::string &name)
         return std::make_unique<DoubleFlushBug>(fixed);
     if (base == "host-only-commit")
         return std::make_unique<HostOnlyCommitBug>(fixed);
+    if (base == "late-redo")
+        return std::make_unique<LateRedoBug>(fixed);
     fatal("unknown corpus bug '", name, "'");
 }
 

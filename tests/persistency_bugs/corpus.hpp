@@ -28,6 +28,10 @@
  *                                                  (redundant-flush)
  *   host-only-commit  a declared commit range no crash-armed launch
  *                     ever stores to               (crash-unreachable)
+ *   late-redo         a redo-style allocator publishes its bitmap bits
+ *                     before the record that justifies them —
+ *                     GpmHeap's host-record-first protocol inverted
+ *                                (epoch-order, commit-before-data)
  */
 #pragma once
 

@@ -253,6 +253,78 @@ TEST(PmPool, MergedExtentsPersistAndCrashCorrectly)
     EXPECT_EQ(std::memcmp(a.durable(), b.durable(), 4096), 0);
 }
 
+TEST(PmPool, ExtentCoalescingResetsAcrossCrashAndReopen)
+{
+    // GpmHeap's recovery path: crash, reopen the heap's regions by
+    // name, and append again. The pending-extent machinery must start
+    // clean — no stale merge-eligible extent may survive the failure —
+    // and a fresh append stream coalesces exactly as the first did.
+    PmPool pool(8_KiB, PersistDomain::McDurable, 7);
+    const PmRegion slabs = pool.map("heap.slabs", 1024, true);
+    std::uint64_t v = 0x11;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        pool.deviceWrite(0, slabs.offset + i * 8, &v, 8);
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+    EXPECT_EQ(pool.stats().extents_merged, 15u);
+
+    pool.crash(/*survive_prob=*/0.0);
+    EXPECT_EQ(pool.pendingExtents(), 0u);
+    EXPECT_EQ(pool.loadDurable<std::uint64_t>(slabs.offset), 0u);
+
+    const PmRegion again = pool.map("heap.slabs", 0, false);
+    EXPECT_EQ(again.offset, slabs.offset);
+    v = 0x22;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        pool.deviceWrite(0, again.offset + i * 8, &v, 8);
+    EXPECT_EQ(pool.pendingExtents(), 1u);
+    EXPECT_EQ(pool.pendingBytes(), 128u);
+    EXPECT_EQ(pool.stats().extents_merged, 30u);
+    EXPECT_TRUE(pool.persistOwner(0));
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(pool.loadDurable<std::uint64_t>(again.offset + i * 8),
+                  0x22u);
+}
+
+TEST(PmPool, SubExtentTearingRespectsHeapHeaderBoundaries)
+{
+    // One contiguous write covers a 128 B heap header plus four slab
+    // lines (GpmHeap's host-written redo area has this shape). The
+    // merged extent must tear at 128 B line granularity: the header
+    // line survives or dies independently of every slab line, and
+    // whatever survives is byte-intact — never a half-written line.
+    constexpr std::uint64_t kLine = 128;
+    constexpr std::uint64_t kLines = 5;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        PmPool pool(8_KiB, PersistDomain::McDurable, seed);
+        const PmRegion heap = pool.map("heap", kLines * kLine, true);
+        ASSERT_TRUE(isAligned(heap.offset, kLine));
+        std::uint8_t img[kLines * kLine];
+        for (std::uint64_t i = 0; i < sizeof img; ++i)
+            img[i] = static_cast<std::uint8_t>(i % 251 + 1);
+        pool.deviceWrite(0, heap.offset, img, sizeof img);
+        EXPECT_EQ(pool.pendingExtents(), 1u);
+
+        pool.crash(/*survive_prob=*/0.5);
+        EXPECT_EQ(pool.stats().crash_sub_extents, kLines);
+        std::uint64_t survived = 0;
+        for (std::uint64_t l = 0; l < kLines; ++l) {
+            bool any = false, all = true;
+            for (std::uint64_t i = 0; i < kLine; ++i) {
+                const std::uint8_t d = pool.loadDurable<std::uint8_t>(
+                    heap.offset + l * kLine + i);
+                if (d == img[l * kLine + i])
+                    any = true;
+                else
+                    all = false;
+            }
+            EXPECT_EQ(any, all) << "torn inside line " << l
+                                << " at seed " << seed;
+            survived += all ? 1 : 0;
+        }
+        EXPECT_EQ(pool.stats().crash_survivors, survived);
+    }
+}
+
 TEST(PmPool, DomainSwitchMidstream)
 {
     PmPool pool(4096, PersistDomain::LlcVolatile);

@@ -175,6 +175,34 @@ TEST(TelemetryMetrics, HistogramQuantilesDegenerateCases)
     EXPECT_DOUBLE_EQ(same.p99(), 12.0);
 }
 
+TEST(TelemetryMetrics, HistogramQuantilesClampHostileInputs)
+{
+    // Empty histogram: every accessor, including the tails, is 0.
+    tm::HistogramData empty;
+    EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.p999(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(2.0), 0.0);
+
+    // p999 of a one-bucket distribution: all 5000 samples land in
+    // [4, 8); the tail estimate must stay inside the observed range,
+    // not read past the populated bin.
+    tm::HistogramData bucket;
+    for (int i = 0; i < 5000; ++i)
+        bucket.observe(5.0 + (i % 3));  // 5, 6, 7 share log2 bin 3
+    EXPECT_GE(bucket.p999(), bucket.min);
+    EXPECT_LE(bucket.p999(), bucket.max);
+    EXPECT_GE(bucket.quantile(1.0), bucket.quantile(0.999));
+
+    // Out-of-range and NaN q clamp instead of producing garbage.
+    tm::HistogramData h;
+    h.observe(10.0);
+    h.observe(20.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(42.0), h.quantile(1.0));
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(h.quantile(nan), h.quantile(0.0));
+}
+
 TEST(TelemetryMetrics, HistogramQuantilesInterpolateWithinOneBin)
 {
     // Uniform 1..1000: the log2-histogram contract is within one bin

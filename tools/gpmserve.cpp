@@ -69,7 +69,9 @@ usage()
         "stages: amortization (batch_max sweep, >=5x asserted),\n"
         "        load-latency (think x shards grid, p50/p99/p999),\n"
         "        determinism (widths 1/2/4/8 bit-identical),\n"
-        "        crash (mid-traffic power failure, zero acked loss)\n");
+        "        crash (mid-traffic power failure, zero acked loss),\n"
+        "        variable-size (GpmHeap values 16 -> 4096 B, oracle-\n"
+        "        checked acks, width-pinned, crash + heap recovery)\n");
     return 2;
 }
 
@@ -101,6 +103,12 @@ struct AmortRow {
 struct LoadRow {
     std::uint32_t shards = 0;
     SimNs think_ns = 0;
+    ServeReport rep;
+};
+
+/** One variable-size-stage row. */
+struct VarRow {
+    std::uint32_t value_bytes = 0;
     ServeReport rep;
 };
 
@@ -244,6 +252,109 @@ runDeterminism(const Options &opt, bool *ok)
     return base;
 }
 
+/**
+ * Stage 5: variable-size values (GpmHeap-backed). One fixed traffic
+ * shape, value size swept 16 -> 4096 bytes; every ack is checked
+ * against the payload-hash oracle. The amortization claim extends to
+ * payload bytes: a 256x payload growth must not cost anywhere near
+ * 256x in op throughput (staging rides the same batched launches), so
+ * the end-to-end slowdown is asserted under 32x. The 256 B row is
+ * re-run at widths 1 and 8 to pin the ack stream across jobs x
+ * exec-workers, and a mid-traffic power failure with mixed sizes must
+ * lose no acknowledged write through GpmHeap::recover().
+ */
+std::vector<VarRow>
+runVariableSize(const Options &opt, ServeReport *crash_out)
+{
+    telemetry::Span span("serve", "stage_variable_size");
+    std::vector<VarRow> rows;
+    for (const std::uint32_t vb : {16u, 64u, 256u, 1024u, 4096u}) {
+        ServeConfig sc;
+        sc.shards = 2;
+        sc.n_sets = 1u << 12;
+        sc.clients = 512;
+        sc.requests = 8192;
+        sc.batch_max = 256;
+        sc.batch_deadline_ns = 20000;
+        sc.queue_depth = 1024;
+        sc.think_ns = 2000;
+        sc.get_ratio = 0.5;
+        sc.del_ratio = 0.05;
+        sc.dist = KeyDistKind::Zipfian;
+        sc.key_space = 1u << 16;
+        sc.seed = opt.seed;
+        sc.jobs = opt.jobs;
+        sc.exec_workers = opt.exec_workers;
+        sc.value_bytes_min = vb;
+        sc.value_bytes_max = vb;
+        rows.push_back({vb, ServiceEngine(sc).run()});
+        const ServeReport &r = rows.back().rep;
+        std::printf("gpmserve: value_bytes=%-5u %8.3f Mops  "
+                    "%9.1f MB/s payload  p99 %9.0f ns\n",
+                    vb, r.throughput_mops,
+                    r.throughput_mops * vb, r.latency.p99());
+        GPM_REQUIRE(r.oracle_failures == 0,
+                    "variable-size stage: oracle failures at ", vb,
+                    " B values");
+        if (vb == 256) {
+            // Width determinism for the heap-backed path.
+            for (const int w : {1, 8}) {
+                ServeConfig wc = sc;
+                wc.jobs = w;
+                wc.exec_workers = w;
+                const ServeReport wr = ServiceEngine(wc).run();
+                GPM_REQUIRE(wr.ack_signature == r.ack_signature &&
+                                wr.signature() == r.signature(),
+                            "variable-size ack stream diverged at "
+                            "width ", w);
+            }
+        }
+    }
+    GPM_REQUIRE(rows.back().rep.throughput_mops * 32.0 >=
+                    rows.front().rep.throughput_mops,
+                "variable-size amortization broke down: 256x payload "
+                "cost more than 32x throughput (",
+                rows.front().rep.throughput_mops, " -> ",
+                rows.back().rep.throughput_mops, " Mops)");
+
+    // Mixed-size mid-traffic power failure: GpmHeap::recover() must
+    // reconcile every shard with zero acknowledged-write loss.
+    ServeConfig cc;
+    cc.shards = 2;
+    cc.n_sets = 1u << 9;
+    cc.clients = 512;
+    cc.requests = 4096;
+    cc.batch_max = 64;
+    cc.batch_deadline_ns = 1e6;
+    cc.queue_depth = 256;
+    cc.think_ns = 0.0;
+    cc.get_ratio = 0.3;
+    cc.del_ratio = 0.1;
+    cc.key_space = 1u << 12;
+    cc.seed = opt.seed;
+    cc.jobs = opt.jobs;
+    cc.exec_workers = opt.exec_workers;
+    cc.value_bytes_min = 16;
+    cc.value_bytes_max = 4096;
+    cc.crash_at_launch = 6;
+    CrashSpec spec;
+    spec.kind = CrashSpec::Kind::Fraction;
+    spec.fraction = 0.6;
+    cc.crash_point = spec.materialize(std::uint64_t(cc.batch_max) *
+                                      GpKvsParams::kGroup);
+    cc.survive_prob = 0.5;
+    *crash_out = ServiceEngine(cc).run();
+    GPM_REQUIRE(crash_out->crash_fired,
+                "variable-size crash: armed point never fired");
+    GPM_REQUIRE(crash_out->recovery_ran,
+                "variable-size crash: recovery never ran");
+    GPM_REQUIRE(crash_out->durable_ok,
+                "variable-size crash: acknowledged writes were lost");
+    GPM_REQUIRE(crash_out->oracle_failures == 0,
+                "variable-size crash: oracle failures");
+    return rows;
+}
+
 /** Stage 4: mid-traffic power failure, zero acked-write loss. */
 ServeReport
 runCrashSmoke(const Options &opt)
@@ -307,6 +418,7 @@ bool
 writeBench(const Options &opt, const std::vector<AmortRow> &amort,
            const std::vector<LoadRow> &load, const ServeReport &det,
            bool det_ok, const ServeReport &crash,
+           const std::vector<VarRow> &var, const ServeReport &var_crash,
            std::uint64_t bench_sig, const telemetry::Session &session,
            std::string *error)
 {
@@ -371,13 +483,39 @@ writeBench(const Options &opt, const std::vector<AmortRow> &amort,
         w.field("crash_survivors", crash.crash_survivors);
         w.endObject();
 
+        w.key("variable_size");
+        w.beginArray();
+        for (const VarRow &row : var) {
+            w.beginObject();
+            w.field("value_bytes", row.value_bytes);
+            w.field("payload_mbps",
+                    row.rep.throughput_mops * row.value_bytes);
+            writeReportFields(w, row.rep);
+            w.endObject();
+        }
+        w.endArray();
+        w.field("variable_size_slowdown",
+                var.back().rep.throughput_mops > 0
+                    ? var.front().rep.throughput_mops /
+                          var.back().rep.throughput_mops
+                    : 0.0);
+        w.key("variable_size_crash");
+        w.beginObject();
+        w.field("fired", var_crash.crash_fired);
+        w.field("recovery_ran", var_crash.recovery_ran);
+        w.field("durable_ok", var_crash.durable_ok);
+        w.field("oracle_failures", var_crash.oracle_failures);
+        w.field("state_hash", hex64(var_crash.state_hash));
+        w.endObject();
+
         session.metrics.snapshot().writeFields(w);
         w.endObject();
     }
     return telemetry::validateJsonFile(
         opt.out_path,
         {"schema", "tool", "amortization", "load_latency",
-         "determinism", "crash", "counters", "histograms"},
+         "determinism", "crash", "variable_size", "counters",
+         "histograms"},
         error);
 }
 
@@ -457,6 +595,17 @@ main(int argc, char **argv)
                     crash.crash_fired, crash.recovery_ran,
                     crash.durable_ok);
 
+        ServeReport var_crash;
+        const std::vector<VarRow> var =
+            runVariableSize(opt, &var_crash);
+        std::printf("gpmserve: variable-size 16 B -> 4096 B slowdown "
+                    "%.1fx, crash fired=%d recovered=%d "
+                    "durable_ok=%d\n",
+                    var.front().rep.throughput_mops /
+                        var.back().rep.throughput_mops,
+                    var_crash.crash_fired, var_crash.recovery_ran,
+                    var_crash.durable_ok);
+
         // One order-stable fingerprint over every stage: identical at
         // any --jobs x --exec-workers width, so CI pins it once.
         std::uint64_t sig = kFnvOffset;
@@ -471,12 +620,17 @@ main(int argc, char **argv)
         }
         sig = fnv1aU64(det.signature(), sig);
         sig = fnv1aU64(crash.signature(), sig);
+        for (const VarRow &row : var) {
+            sig = fnv1aU64(row.value_bytes, sig);
+            sig = fnv1aU64(row.rep.signature(), sig);
+        }
+        sig = fnv1aU64(var_crash.signature(), sig);
         std::printf("gpmserve: bench-signature %s\n",
                     hex64(sig).c_str());
 
         std::string error;
-        if (!writeBench(opt, amort, load, det, det_ok, crash, sig,
-                        *session, &error)) {
+        if (!writeBench(opt, amort, load, det, det_ok, crash, var,
+                        var_crash, sig, *session, &error)) {
             std::fprintf(stderr,
                          "gpmserve: artifact validation failed: %s\n",
                          error.c_str());

@@ -101,8 +101,10 @@ list()
     std::printf("workloads:");
     for (const std::string &w : registeredInvariants())
         std::printf(" %s", w.c_str());
-    std::printf("\nextended workloads (opt-in via --workloads):"
-                " serve\n");
+    std::printf("\nextended workloads (opt-in via --workloads):");
+    for (const std::string &w : extendedInvariants())
+        std::printf(" %s", w.c_str());
+    std::printf("\n");
     std::printf("domains: llc-volatile mc-durable llc-durable\n");
     std::printf("crash points: frac:<f> before-fence:<n> "
                 "after-fence:<n> after-store:<n>\n");
