@@ -6,9 +6,11 @@
  * fine-grain in-kernel persistence (GPF flushes everything and only
  * from the host), but that GPM's design principles extend to
  * CXL-attached PM. This bench quantifies the projection: the same
- * GPM software stack on the Table 3 machine vs a CXL-class
- * interconnect (more bandwidth, lower fence latency, deeper
- * concurrency; identical Optane media).
+ * GPM software stack on the Table 3 machine vs the cxl media backend
+ * (docs/memsim.md) — a CXL-class interconnect (more bandwidth, lower
+ * fence latency, deeper concurrency) in front of a memory expander
+ * whose in-device interleaved PM sits behind a 26 GB/s port with a
+ * far-memory read hop.
  *
  * Expected shape: fence-bound workloads (transactional, BFS) gain the
  * most; media-bound streaming (checkpointing) barely moves — the
@@ -16,6 +18,7 @@
  */
 #include "bench/bench_util.hpp"
 #include "harness/experiments.hpp"
+#include "memsim/media_backend.hpp"
 
 using namespace gpm;
 using namespace gpm::bench;
@@ -24,7 +27,13 @@ int
 main()
 {
     const SimConfig pcie;
-    const SimConfig cxl = SimConfig::cxlAttachedPm();
+    // The cxl backend overlays the CXL interconnect preset
+    // (SimConfig::cxlAttachedPm) and swaps in the expander media
+    // model, so the link and the media change together.
+    SimConfig cxl;
+    MediaConfig mc;
+    mc.kind = MediaKind::Cxl;
+    applyMediaConfig(cxl, mc);
 
     Table table({"Workload", "GPM over PCIe 3.0 (ms)",
                  "GPM over CXL 2.0 (ms)", "CXL gain"});

@@ -12,6 +12,7 @@
 #include "gpm/gpm_runtime.hpp"
 #include "gpusim/kernel.hpp"
 #include "harness/experiments.hpp"
+#include "memsim/media_backend.hpp"
 #include "pmheap/gpm_map.hpp"
 
 namespace gpm {
@@ -64,6 +65,43 @@ BM_NvmModelSingleStream(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NvmModelSingleStream);
+
+void
+BM_NvmModelInterleaved(benchmark::State &state)
+{
+    // The multi-DIMM recordWrite path, measured end to end (record +
+    // closeRuns) so the interleaved backend's deferred per-DIMM drains
+    // are priced in, not hidden. 16 Ki warps append 64 B records into
+    // private granule-sized slabs (the per-warp log-stripe pattern HCL
+    // produces), round-robin across warps — the worst case for the
+    // last-stream cache, so every record resolves through the stream
+    // table. Slabs stripe across the DIMM set, so each DIMM's private
+    // table holds 1/N of the streams: at one DIMM the table is one
+    // multi-MiB cache-busting flat table (bit-identical to the legacy
+    // model), at 4-8 it shards into cache-resident pieces.
+    // Arg = DIMM count.
+    SimConfig cfg;
+    cfg.media.kind = MediaKind::Interleaved;
+    cfg.media.dimms = static_cast<int>(state.range(0));
+    const std::unique_ptr<MediaBackend> nvm = makeMediaBackend(cfg);
+    constexpr std::uint64_t kStreams = 16384;
+    constexpr std::uint64_t kSlab = 4096;  ///< = interleave granule
+    std::vector<std::uint64_t> off(kStreams, 0);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t s = i & (kStreams - 1);
+        nvm->recordWrite(s, s * kSlab + off[s], 64);
+        // Wrap inside the slab: the rewrite merges into the open run,
+        // so the stream stays pinned to its DIMM.
+        off[s] = (off[s] + 64) & (kSlab - 1);
+        if ((++i & ((1u << 22) - 1)) == 0)
+            nvm->closeRuns();
+    }
+    nvm->closeRuns();
+    benchmark::DoNotOptimize(nvm->bytes().total());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NvmModelInterleaved)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void
 BM_KernelLaunchSmall(benchmark::State &state)

@@ -29,6 +29,12 @@
  *     #8). The signature must match the crash-matrix stage's bitwise
  *     at every width (enforced below); the speedup lands in the perf
  *     envelope.
+ *  5. media-record: the interleaved media backend's recordWrite path
+ *     at 1/2/4/8 DIMMs (the Jobs column is the DIMM count) — 16 Ki
+ *     warps appending into private granule slabs, record + close
+ *     timed end to end. One DIMM must replay the legacy single-table
+ *     model bit for bit (tier totals enforced below); wider sets
+ *     shard the stream table per DIMM and should raise throughput.
  *
  * --smoke shrinks every stage to a seconds-scale CI gate; the JSON
  * shape is identical so downstream tooling never branches.
@@ -46,6 +52,7 @@
 #include "common/status.hpp"
 #include "crashtest/torture_runner.hpp"
 #include "harness/experiments.hpp"
+#include "memsim/media_backend.hpp"
 #include "telemetry/json.hpp"
 
 using namespace gpm;
@@ -222,6 +229,45 @@ main(int argc, char **argv)
                     hex(ref_sig));
     }
 
+    // Stage 5: the multi-DIMM media backend's recordWrite hot path.
+    // Same drive pattern as BM_NvmModelInterleaved: per-warp private
+    // granule slabs striped over the DIMM set, streams round-robined
+    // so every record resolves through the stream table. Slabs are
+    // granule-aligned, so tier totals must be bitwise identical at
+    // every width (enforced), and the one-DIMM row IS the legacy
+    // model's cost.
+    {
+        const std::uint64_t writes = smoke ? (1ull << 22)
+                                           : (1ull << 25);
+        constexpr std::uint64_t kStreams = 16384;
+        constexpr std::uint64_t kSlab = 4096;
+        NvmTierBytes media_ref{};
+        for (const unsigned dimms : {1u, 2u, 4u, 8u}) {
+            SimConfig mcfg;
+            mcfg.media.kind = MediaKind::Interleaved;
+            mcfg.media.dimms = static_cast<int>(dimms);
+            const std::unique_ptr<MediaBackend> nvm =
+                makeMediaBackend(mcfg);
+            std::vector<std::uint64_t> off(kStreams, 0);
+            const auto t0 = Clock::now();
+            for (std::uint64_t i = 0; i < writes; ++i) {
+                const std::uint64_t s = i & (kStreams - 1);
+                nvm->recordWrite(s, s * kSlab + off[s], 64);
+                off[s] = (off[s] + 64) & (kSlab - 1);
+                if ((i & ((1u << 22) - 1)) == (1u << 22) - 1)
+                    nvm->closeRuns();
+            }
+            nvm->closeRuns();
+            rows.push_back({"media-record", dimms,
+                            static_cast<std::size_t>(writes),
+                            secondsSince(t0)});
+            if (dimms == 1)
+                media_ref = nvm->bytes();
+            GPM_REQUIRE(nvm->bytes() == media_ref,
+                        "media tier totals diverged at dimms=", dimms);
+        }
+    }
+
     // ---- report ---------------------------------------------------------
     Table table({"Stage", "Jobs", "Units", "Wall (s)", "Units/s"});
     for (const StageRow &r : rows)
@@ -293,6 +339,19 @@ main(int argc, char **argv)
         }
         w.endObject();
         w.field("fig9_best_speedup", best > 0 ? base / best : 0.0);
+        {
+            double media_base = 0.0, media_best = 0.0;
+            for (const StageRow &r : rows) {
+                if (r.stage != "media-record")
+                    continue;
+                if (r.jobs == 1)
+                    media_base = r.wall_s;
+                if (media_best == 0.0 || r.wall_s < media_best)
+                    media_best = r.wall_s;
+            }
+            w.field("media_record_best_speedup",
+                    media_best > 0 ? media_base / media_best : 0.0);
+        }
         w.endObject();
         GPM_REQUIRE(w.complete() && js.good(),
                     "failed writing BENCH_simperf.json");

@@ -140,6 +140,7 @@ class PmheapInvariant : public RecoveryInvariant
         try {
             SimConfig cfg;
             cfg.exec_workers = setup.exec_workers;
+            applyMediaConfig(cfg, setup.media);
             Machine m(cfg, setup.kind, 8_MiB, seed);
             if (setup.recorder)
                 m.pool().setRecorder(setup.recorder);

@@ -5,6 +5,7 @@
 
 #include "common/status.hpp"
 #include "common/units.hpp"
+#include "memsim/media_backend.hpp"
 #include "platform/machine.hpp"
 #include "workloads/db.hpp"
 #include "workloads/kvs.hpp"
@@ -65,6 +66,7 @@ runScenario(const DomainSetup &setup, std::uint64_t seed, Body &&body)
     try {
         SimConfig cfg;
         cfg.exec_workers = setup.exec_workers;
+        applyMediaConfig(cfg, setup.media);
         // Scaled-down workloads: a small pool keeps the per-scenario
         // allocation cost from dominating thousand-cell sweeps.
         Machine m(cfg, setup.kind, 8_MiB, seed);

@@ -54,6 +54,13 @@ struct DomainSetup {
      *  (DESIGN.md decisions #7/#8), so this knob only trades host
      *  threads for in-scenario wall-clock. */
     int exec_workers = 1;
+
+    /** Media backend (SimConfig::media) for the scenario's Machine.
+     *  Media models are timing-only — PmPool owns functional
+     *  durability — so every backend reproduces the same functional
+     *  outcomes and the same signature; like exec_workers, this is
+     *  never folded into scenario keys. */
+    MediaConfig media{};
 };
 
 /** The sweep mapping described in the file header. */

@@ -192,6 +192,7 @@ runScenarioCell(SweepLane &lane, const TortureScenario &sc)
         makeInvariant(sc.workload);
     DomainSetup setup = domainSetupFor(sc.domain);
     setup.exec_workers = sc.exec_workers;
+    setup.media = sc.media;
     const CrashPoint point =
         sc.spec.materialize(inv->doomedThreadPhases());
     {
@@ -225,7 +226,8 @@ TortureRunner::enumerate(const TortureConfig &cfg)
                 for (const std::uint64_t seed : cfg.seeds)
                     for (const double p : cfg.survive_probs)
                         scenarios.push_back({name, domain, spec, seed,
-                                             p, cfg.exec_workers});
+                                             p, cfg.exec_workers,
+                                             cfg.media});
     return scenarios;
 }
 

@@ -49,6 +49,11 @@ struct TortureScenario {
      *  axis and not folded into key()/signature(): every width yields
      *  bit-identical outcomes (DESIGN.md decision #8). */
     int exec_workers = 1;
+
+    /** Media backend (copied from TortureConfig). Not an axis and not
+     *  folded into key()/signature(): media models are timing-only, so
+     *  every backend yields bit-identical functional outcomes. */
+    MediaConfig media{};
 };
 
 /** How a scenario is classified. */
@@ -106,6 +111,16 @@ struct TortureConfig {
      * the host's core count).
      */
     int exec_workers = 1;
+
+    /**
+     * Media backend (SimConfig::media) applied to every scenario's
+     * Machine. Like exec_workers, not an axis and never part of the
+     * signature: PmPool owns functional durability, media models only
+     * price the traffic, so a signature pinned under the default NVM
+     * backend must reproduce under every other backend (CI sweeps all
+     * four and diffs the signatures).
+     */
+    MediaConfig media{};
 
     /** Fill every empty axis with its default. */
     void applyDefaults();

@@ -35,7 +35,7 @@
 #include "gpusim/kernel.hpp"
 #include "gpusim/launch_stats.hpp"
 #include "gpusim/thread_ctx.hpp"
-#include "memsim/nvm_model.hpp"
+#include "memsim/media_backend.hpp"
 #include "memsim/sim_config.hpp"
 #include "pmem/pm_pool.hpp"
 
@@ -48,9 +48,9 @@ class GpuExecutor
     /**
      * @param cfg   Machine parameters (warp size, coalescing granule).
      * @param pool  The PM device kernels load from / store to.
-     * @param nvm   Optane model receiving the coalesced write stream.
+     * @param nvm   Media model receiving the coalesced write stream.
      */
-    GpuExecutor(const SimConfig &cfg, PmPool &pool, NvmModel &nvm)
+    GpuExecutor(const SimConfig &cfg, PmPool &pool, MediaBackend &nvm)
         : cfg_(&cfg), pool_(&pool), nvm_(&nvm)
     {
     }
@@ -141,7 +141,7 @@ class GpuExecutor
 
     const SimConfig *cfg_;
     PmPool *pool_;
-    NvmModel *nvm_;
+    MediaBackend *nvm_;
     LaunchStats cur_;
 
     std::optional<CrashPoint> armed_;  ///< active launch's crash point

@@ -4,6 +4,7 @@
 
 #include "common/env.hpp"
 #include "harness/sweep.hpp"
+#include "memsim/media_backend.hpp"
 #include "workloads/iterative.hpp"
 
 namespace gpm::bench {
@@ -235,6 +236,7 @@ benchConfig()
 {
     SimConfig cfg;
     cfg.exec_workers = execWorkersFromEnv(cfg.exec_workers);
+    applyMediaConfig(cfg, mediaFromEnv(cfg.media));
     return cfg;
 }
 

@@ -149,7 +149,7 @@ NvmModel::closeRuns()
 }
 
 SimNs
-NvmModel::writeTime(const NvmTierBytes &b, double random_boost) const
+NvmModel::writeTimeImpl(const NvmTierBytes &b, double random_boost) const
 {
     GPM_ASSERT(random_boost >= 1.0);
     return transferNs(b.seq_aligned, cfg_->nvm_seq_aligned_gbps) +

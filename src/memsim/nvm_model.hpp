@@ -36,50 +36,23 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "memsim/media_backend.hpp"
 #include "memsim/sim_config.hpp"
 
 namespace gpm {
 
-/** Byte totals per Optane access tier. */
-struct NvmTierBytes {
-    std::uint64_t seq_aligned = 0;   ///< 256 B-aligned sequential bytes
-    std::uint64_t seq_unaligned = 0; ///< sequential but unaligned bytes
-    std::uint64_t random = 0;        ///< isolated / random bytes
-
-    std::uint64_t
-    total() const
-    {
-        return seq_aligned + seq_unaligned + random;
-    }
-
-    NvmTierBytes
-    operator-(const NvmTierBytes &o) const
-    {
-        return {seq_aligned - o.seq_aligned,
-                seq_unaligned - o.seq_unaligned, random - o.random};
-    }
-
-    NvmTierBytes &
-    operator+=(const NvmTierBytes &o)
-    {
-        seq_aligned += o.seq_aligned;
-        seq_unaligned += o.seq_unaligned;
-        random += o.random;
-        return *this;
-    }
-
-    /** Per-tier equality (the determinism suite's comparison). */
-    bool operator==(const NvmTierBytes &o) const = default;
-};
-
 /**
  * Classifies a write-transaction stream into Optane tiers and converts
- * classified bytes into simulated media time.
+ * classified bytes into simulated media time. This is the paper's
+ * single-DIMM model and the reference MediaBackend: the interleaved,
+ * CXL and hybrid backends (media_backend.cpp) all build on it.
  */
-class NvmModel
+class NvmModel final : public MediaBackend
 {
   public:
     explicit NvmModel(const SimConfig &cfg) : cfg_(&cfg) {}
+
+    MediaKind kind() const override { return MediaKind::Nvm; }
 
     /**
      * Record one write transaction.
@@ -90,7 +63,7 @@ class NvmModel
      * @param size    Transaction size in bytes (must be non-zero).
      */
     void recordWrite(std::uint64_t stream, std::uint64_t addr,
-                     std::uint64_t size);
+                     std::uint64_t size) override;
 
     /**
      * Record an already-formed run of @p txns transactions covering
@@ -99,11 +72,11 @@ class NvmModel
      * going through the per-stream open-run machinery.
      */
     void recordRun(std::uint64_t addr, std::uint64_t size,
-                   std::uint64_t txns);
+                   std::uint64_t txns) override;
 
     /** Record a read of @p bytes from PM. */
     void
-    recordRead(std::uint64_t bytes)
+    recordRead(std::uint64_t bytes) override
     {
         read_bytes_ += bytes;
         ++read_ops_;
@@ -115,45 +88,41 @@ class NvmModel
      * Call at an execution boundary (kernel end, persist batch end);
      * classified byte counters are only complete after this.
      */
-    void closeRuns();
+    void closeRuns() override;
 
     /** Open runs tracked per stream (XPLine buffer slots). */
     static constexpr std::size_t kRunsPerStream = 4;
 
     /** Classified write bytes so far (closeRuns() first for totals). */
-    const NvmTierBytes &bytes() const { return bytes_; }
+    const NvmTierBytes &bytes() const override { return bytes_; }
 
     /** Total write transactions recorded. */
-    std::uint64_t writeTxns() const { return write_txns_; }
+    std::uint64_t writeTxns() const override { return write_txns_; }
 
     /** Total read bytes recorded. */
-    std::uint64_t readBytes() const { return read_bytes_; }
+    std::uint64_t readBytes() const override { return read_bytes_; }
+
+    /** Total read operations recorded. */
+    std::uint64_t readOps() const override { return read_ops_; }
 
     /** Record scattered line-granular writes (CPU flush of sparse
      *  lines): all bytes land on the random tier. */
     void
-    recordScattered(std::uint64_t bytes, std::uint64_t txns)
+    recordScattered(std::uint64_t bytes, std::uint64_t txns) override
     {
         bytes_.random += bytes;
         write_txns_ += txns;
     }
 
-    /**
-     * Media time to absorb the classified writes in @p b.
-     *
-     * @param random_boost  Concurrency relief for the random tier
-     *                      (>= 1; see SimConfig::nvm_gpu_random_boost).
-     */
-    SimNs writeTime(const NvmTierBytes &b, double random_boost = 1.0) const;
-
-    /** Media time for all writes recorded so far. */
-    SimNs writeTime() const { return writeTime(bytes_); }
-
     /** Media time for @p bytes of reads. */
-    SimNs readTime(std::uint64_t bytes) const;
+    SimNs readTime(std::uint64_t bytes) const override;
 
     /** Forget all recorded traffic and open runs. */
-    void reset();
+    void reset() override;
+
+  protected:
+    SimNs writeTimeImpl(const NvmTierBytes &b,
+                        double random_boost) const override;
 
   private:
     struct Run {

@@ -60,6 +60,50 @@ fenceIsPersist(PersistDomain d)
     return d != PersistDomain::LlcVolatile;
 }
 
+/**
+ * Which media model sits behind the PM address space.
+ *
+ * The paper's testbed is one logical Optane region; ROADMAP's
+ * multi-backend item generalizes it into pluggable media. Selection
+ * is functional-state-free: every backend observes the same
+ * transaction stream and only classifies/prices it differently, so
+ * recovery guarantees (torture signatures) are media-invariant.
+ */
+enum class MediaKind {
+    Nvm,         ///< single-DIMM Optane three-tier model (the paper)
+    Interleaved, ///< addresses striped across N DIMMs, per-DIMM tiers
+    Cxl,         ///< CXL memory expander: interleaved PM behind a port
+    Hybrid,      ///< DRAM front cache over NVM with writeback migration
+};
+
+/** Parameters of the selected media backend (see docs/memsim.md). */
+struct MediaConfig {
+    MediaKind kind = MediaKind::Nvm;
+
+    // ---- interleaved multi-DIMM --------------------------------------
+    /** DIMMs in the interleave set (power of two, 1..64). */
+    int dimms = 4;
+    /** Stripe granule: consecutive granules land on consecutive DIMMs
+     *  (power of two, >= xpline_bytes). */
+    std::size_t interleave_bytes = 4096;
+
+    // ---- CXL memory expander -----------------------------------------
+    /** Media channels interleaved inside the expander device. */
+    int cxl_dev_dimms = 4;
+    /** Device port bandwidth: caps the aggregate media rate, so
+     *  aligned-sequential bursts become port-bound while random
+     *  traffic stays media-bound. */
+    GBps cxl_port_gbps = 26.0;
+    /** Far-memory hop added to every read's idle latency. */
+    SimNs cxl_read_extra_ns = 180;
+
+    // ---- hybrid DRAM-cache-over-NVM ----------------------------------
+    /** Capacity of the battery-backed DRAM front tier. */
+    std::size_t dram_cache_bytes = std::size_t(4) << 20;
+
+    bool operator==(const MediaConfig &) const = default;
+};
+
 /** Simulated machine parameters (defaults model the paper's testbed). */
 struct SimConfig {
     // ---- simulator execution (host-side, not modelled time) -----------
@@ -111,6 +155,17 @@ struct SimConfig {
     SimNs pcie_persist_op_ns = 1000;  ///< small write + system-fence RTT
     int pcie_concurrency = 1024;   ///< in-flight non-posted ops (Fig 3b)
     SimNs dma_init_ns = 10000;     ///< cudaMemcpy/DMA engine setup cost
+
+    // ---- PM media backend (docs/memsim.md) ------------------------------
+    /**
+     * Which media model prices the PM transaction stream, and its
+     * parameters. Functional durability lives in PmPool, so changing
+     * the backend never changes recovery outcomes — only tier
+     * classification and media timing. Overridable per process via the
+     * GPM_MEDIA environment variable (mediaFromEnv) and per tool via
+     * --media flags.
+     */
+    MediaConfig media;
 
     // ---- Optane DCPMM ---------------------------------------------------
     GBps nvm_seq_aligned_gbps = 12.5;   ///< 256 B-aligned sequential writes

@@ -40,8 +40,8 @@ Machine::Machine(const SimConfig &cfg, PlatformKind kind,
                  std::size_t pm_capacity, std::uint64_t seed)
     : cfg_(cfg), kind_(kind),
       pool_(pm_capacity, initialDomain(kind), seed),
-      nvm_(cfg_), gpu_(cfg_, pool_, nvm_), pcie_(cfg_),
-      cpu_persist_(cfg_), fs_(cfg_)
+      media_(makeMediaBackend(cfg_)), gpu_(cfg_, pool_, *media_),
+      pcie_(cfg_), cpu_persist_(cfg_), fs_(cfg_)
 {
 }
 
@@ -87,14 +87,22 @@ Machine::~Machine()
     // from a snapshot alone (clean runs only; a crashed launch's
     // partial traffic reaches the model but not the launch counters).
     if (telemetry::Session *s = telemetry::Session::current()) {
-        nvm_.closeRuns();
-        const NvmTierBytes &b = nvm_.bytes();
+        media_->closeRuns();
+        const NvmTierBytes &b = media_->bytes();
         telemetry::Registry &r = s->metrics;
         r.add("nvm.observed_seq_aligned_bytes", b.seq_aligned);
         r.add("nvm.observed_seq_unaligned_bytes", b.seq_unaligned);
         r.add("nvm.observed_random_bytes", b.random);
-        r.add("nvm.observed_write_txns", nvm_.writeTxns());
-        r.add("nvm.observed_read_bytes", nvm_.readBytes());
+        r.add("nvm.observed_write_txns", media_->writeTxns());
+        r.add("nvm.observed_read_bytes", media_->readBytes());
+        r.add("nvm.observed_read_ops", media_->readOps());
+        // Backend-specific totals (per-DIMM tiers, DRAM cache hit /
+        // miss / migration bytes) — empty for the default NvmModel, so
+        // legacy snapshots are unchanged.
+        std::vector<MediaCounter> media_counters;
+        media_->appendCounters(media_counters);
+        for (const MediaCounter &c : media_counters)
+            r.add("media." + c.name, c.value);
         r.add("machine.pcie_write_bytes", pcie_write_bytes_);
         r.add("machine.persist_payload_bytes", persist_payload_);
         const PmPoolStats &ps = pool_.stats();
@@ -135,8 +143,8 @@ Machine::runKernel(const KernelDesc &kernel)
         std::min<std::uint64_t>(charged.random, cfg_.wpq_absorb_bytes);
     const SimNs nvm_write_ns = pool_.domain() == PersistDomain::LlcDurable
         ? transferNs(charged.total(), cfg_.nvm_seq_aligned_gbps)
-        : nvm_.writeTime(charged, cfg_.nvm_gpu_random_boost);
-    const SimNs nvm_ns = nvm_write_ns + nvm_.readTime(stats.pm_read_bytes);
+        : media_->writeTime(charged, cfg_.nvm_gpu_random_boost);
+    const SimNs nvm_ns = nvm_write_ns + media_->readTime(stats.pm_read_bytes);
     const SimNs mem_ns = std::max(pcie_ns, nvm_ns);
 
     const std::uint64_t issuing = std::min<std::uint64_t>(
@@ -197,16 +205,16 @@ Machine::cpuWritePersist(std::uint64_t pm_addr, const void *src,
     // Each flushing thread sweeps a contiguous chunk in line-sized
     // transactions; the flush path, not the media, is usually the
     // bottleneck (Fig 3a), so charge the slower of the two.
-    nvm_.closeRuns();
-    const NvmTierBytes before = nvm_.bytes();
-    nvm_.recordRun(pm_addr, size,
+    media_->closeRuns();
+    const NvmTierBytes before = media_->bytes();
+    media_->recordRun(pm_addr, size,
                    std::max<std::uint64_t>(1, size / cfg_.cache_line));
     // Under eADR no flushes are needed (CAP-eADR, section 6.1); the
     // store stream still drains through the media.
     const SimNs flush_ns = pool_.domain() == PersistDomain::LlcDurable
         ? cfg_.cpu_sfence_ns
         : cpu_persist_.persistTime(size, threads);
-    const SimNs media_ns = nvm_.writeTime(nvm_.bytes() - before);
+    const SimNs media_ns = media_->writeTime(media_->bytes() - before);
     advance(cpu_persist_.copyTime(size) + std::max(flush_ns, media_ns));
     persist_payload_ += size;
 }
@@ -216,7 +224,7 @@ Machine::cpuPersistRange(std::uint64_t pm_addr, std::uint64_t size,
                          int threads)
 {
     pool_.persistRange(pm_addr, size);
-    nvm_.recordRun(pm_addr, size,
+    media_->recordRun(pm_addr, size,
                    std::max<std::uint64_t>(1, size / cfg_.cache_line));
     advance(cpu_persist_.persistTime(size, threads));
     persist_payload_ += size;
@@ -228,13 +236,13 @@ Machine::cpuPersistScattered(std::uint64_t bytes, int threads)
     pool_.persistAll();
     if (bytes == 0)
         return;
-    nvm_.recordScattered(bytes,
+    media_->recordScattered(bytes,
                          std::max<std::uint64_t>(1,
                                                  bytes / cfg_.cache_line));
     const SimNs flush_ns = pool_.domain() == PersistDomain::LlcDurable
         ? cfg_.cpu_sfence_ns
         : cpu_persist_.persistTime(bytes, threads);
-    const SimNs media_ns = nvm_.writeTime(NvmTierBytes{0, 0, bytes});
+    const SimNs media_ns = media_->writeTime(NvmTierBytes{0, 0, bytes});
     advance(std::max(flush_ns, media_ns));
     persist_payload_ += bytes;
 }
@@ -243,9 +251,9 @@ void
 Machine::cpuPmRead(std::uint64_t bytes, int threads)
 {
     const int t = std::max(1, std::min(threads, cfg_.cpu_max_threads));
-    nvm_.recordRead(bytes);
+    media_->recordRead(bytes);
     // A few reader threads pipeline Optane's read latency away.
-    advance(nvm_.readTime(bytes) / std::min(4, t) ); // bounded overlap
+    advance(media_->readTime(bytes) / std::min(4, t) ); // bounded overlap
 }
 
 void
@@ -264,7 +272,7 @@ Machine::capFsPersist(std::uint64_t pm_addr, const void *src,
     const OwnerId owner = next_cpu_owner_++;
     pool_.cpuWrite(owner, pm_addr, src, size);
     pool_.persistRange(pm_addr, size);  // fsync makes it durable
-    nvm_.recordRun(pm_addr, size,
+    media_->recordRun(pm_addr, size,
                    std::max<std::uint64_t>(1, size / cfg_.fs_block_bytes));
     advance(fs_.writeFsyncTime(size, write_calls));
     persist_payload_ += size;
@@ -283,20 +291,20 @@ Machine::capPersistChunks(std::uint64_t region_base,
     dmaDeviceToHost(total);
 
     const OwnerId owner = next_cpu_owner_++;
-    nvm_.closeRuns();
-    const NvmTierBytes before = nvm_.bytes();
+    media_->closeRuns();
+    const NvmTierBytes before = media_->bytes();
     for (const std::uint64_t c : chunk_idx) {
         const std::uint64_t off = c * chunk_bytes;
         pool_.cpuWrite(owner, region_base + off,
                        static_cast<const std::uint8_t *>(host_base) +
                            off, chunk_bytes);
         pool_.persistRange(region_base + off, chunk_bytes);
-        nvm_.recordRun(region_base + off, chunk_bytes,
+        media_->recordRun(region_base + off, chunk_bytes,
                        std::max<std::uint64_t>(1,
                                                chunk_bytes /
                                                    cfg_.cache_line));
     }
-    const SimNs media_ns = nvm_.writeTime(nvm_.bytes() - before);
+    const SimNs media_ns = media_->writeTime(media_->bytes() - before);
     if (via_fs) {
         advance(fs_.writeFsyncTime(total, 1));
     } else {
@@ -319,7 +327,7 @@ Machine::gpufsWrite(std::uint64_t pm_addr, const void *src,
     const OwnerId owner = next_cpu_owner_++;
     pool_.cpuWrite(owner, pm_addr, src, size);
     pool_.persistRange(pm_addr, size);  // the host OS persists
-    nvm_.recordRun(pm_addr, size,
+    media_->recordRun(pm_addr, size,
                    std::max<std::uint64_t>(1, size / cfg_.fs_block_bytes));
     pcie_write_bytes_ += size;
     advance(static_cast<double>(calls) * cfg_.gpufs_call_ns +

@@ -30,7 +30,7 @@
 
 #include "gpusim/gpu_executor.hpp"
 #include "memsim/host_models.hpp"
-#include "memsim/nvm_model.hpp"
+#include "memsim/media_backend.hpp"
 #include "memsim/pcie_link.hpp"
 #include "memsim/sim_config.hpp"
 #include "platform/platform_kind.hpp"
@@ -61,7 +61,8 @@ class Machine
     PlatformKind kind() const { return kind_; }
     const SimConfig &config() const { return cfg_; }
     PmPool &pool() { return pool_; }
-    NvmModel &nvm() { return nvm_; }
+    /** The media model cfg.media selected (docs/memsim.md). */
+    MediaBackend &nvm() { return *media_; }
     GpuExecutor &gpu() { return gpu_; }
     const PcieLink &pcie() const { return pcie_; }
 
@@ -196,7 +197,7 @@ class Machine
     SimConfig cfg_;
     PlatformKind kind_;
     PmPool pool_;
-    NvmModel nvm_;
+    std::unique_ptr<MediaBackend> media_;
     GpuExecutor gpu_;
     PcieLink pcie_;
     CpuPersistModel cpu_persist_;

@@ -86,6 +86,7 @@ ServiceEngine::ServiceEngine(const ServeConfig &cfg)
 
     SimConfig sim;
     sim.exec_workers = cfg_.exec_workers;
+    applyMediaConfig(sim, cfg_.media);
 
     GpKvsParams kp;
     kp.n_sets = cfg_.n_sets;

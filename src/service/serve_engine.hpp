@@ -72,6 +72,9 @@ struct ServeConfig {
     std::uint64_t seed = 42;
     int exec_workers = 1;            ///< per-shard parallel executor
     int jobs = 1;                    ///< sweep width for batch flushes
+    /** Media backend behind every shard's Machine (timing-only: the
+     *  ack stream and its pinned signature are media-invariant). */
+    MediaConfig media{};
     /**
      * False models the GPM-NDP trap for the serving path: traffic
      * runs with DDIO on (fences order, nothing persists), so a crash

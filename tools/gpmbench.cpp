@@ -6,10 +6,10 @@
  * the canonical (paper-scaled) configuration and prints the measured
  * simulated time, throughput, persisted payload and PM traffic:
  *
- *     gpmbench [--jobs N] list
- *     gpmbench [--jobs N] run <workload> <platform> [seed]
- *     gpmbench [--jobs N] crash <workload> [seed]  # crash + recovery
- *     gpmbench [--jobs N] matrix             # the full Fig 9 grid
+ *     gpmbench [--jobs N] [--media M] list
+ *     gpmbench [--jobs N] [--media M] run <workload> <platform> [seed]
+ *     gpmbench [--jobs N] [--media M] crash <workload> [seed]
+ *     gpmbench [--jobs N] [--media M] matrix  # the full Fig 9 grid
  *
  * Workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps
  * Platforms: gpm ndp eadr capfs capmm capeadr gpufs
@@ -21,9 +21,12 @@
  * (workload, platform) cells are swept over --jobs host workers
  * (each cell's blocks then run sequentially), with rows printed in
  * canonical cell order.
- * The key tables and the --jobs grammar live in the harness
- * (benchFromKey/platformFromKey, parseExecWorkers) and are shared
- * with gpmtrace.
+ * --media M selects the PM media backend behind every cell's machine
+ * (nvm, interleaved[:dimms], cxl, hybrid[:cache_mib]); defaults to
+ * the GPM_MEDIA environment variable, else the single-DIMM paper
+ * model. The key tables and the flag grammars live in the harness
+ * (benchFromKey/platformFromKey, parseExecWorkers, parseMediaConfig)
+ * and are shared with gpmtrace.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +37,7 @@
 
 #include "common/env.hpp"
 #include "harness/experiments.hpp"
+#include "memsim/media_backend.hpp"
 
 using namespace gpm;
 using namespace gpm::bench;
@@ -62,14 +66,18 @@ usage()
 {
     std::printf(
         "gpmbench — GPMbench driver (simulated GPM system)\n\n"
-        "  gpmbench [--jobs N] list\n"
-        "  gpmbench [--jobs N] run <workload> <platform> [seed]\n"
-        "  gpmbench [--jobs N] crash <workload> [seed]\n"
-        "  gpmbench [--jobs N] matrix\n\n"
+        "  gpmbench [--jobs N] [--media M] list\n"
+        "  gpmbench [--jobs N] [--media M] run <workload> <platform> "
+        "[seed]\n"
+        "  gpmbench [--jobs N] [--media M] crash <workload> [seed]\n"
+        "  gpmbench [--jobs N] [--media M] matrix\n\n"
         "workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps\n"
         "platforms: gpm ndp eadr capfs capmm capeadr gpufs\n"
-        "--jobs N: parallel-executor lanes (0 = hardware threads);\n"
-        "          default from GPM_EXEC_WORKERS, else 1\n");
+        "--jobs N:  parallel-executor lanes (0 = hardware threads);\n"
+        "           default from GPM_EXEC_WORKERS, else 1\n"
+        "--media M: PM media backend (%s);\n"
+        "           default from GPM_MEDIA, else nvm\n",
+        mediaUsage());
     return 0;
 }
 
@@ -80,16 +88,32 @@ main(int argc, char **argv)
 {
     SimConfig cfg = bench::benchConfig();
     int argi = 1;
-    while (argi + 1 < argc && std::strcmp(argv[argi], "--jobs") == 0) {
-        const std::optional<int> jobs = parseExecWorkers(argv[argi + 1]);
-        if (!jobs) {
-            std::fprintf(stderr,
-                         "gpmbench: invalid --jobs value '%s' "
-                         "(want an integer in [0, %d])\n",
-                         argv[argi + 1], kMaxExecWorkers);
-            return 1;
+    while (argi + 1 < argc &&
+           (std::strcmp(argv[argi], "--jobs") == 0 ||
+            std::strcmp(argv[argi], "--media") == 0)) {
+        if (std::strcmp(argv[argi], "--jobs") == 0) {
+            const std::optional<int> jobs =
+                parseExecWorkers(argv[argi + 1]);
+            if (!jobs) {
+                std::fprintf(stderr,
+                             "gpmbench: invalid --jobs value '%s' "
+                             "(want an integer in [0, %d])\n",
+                             argv[argi + 1], kMaxExecWorkers);
+                return 1;
+            }
+            cfg.exec_workers = *jobs;
+        } else {
+            const std::optional<MediaConfig> m =
+                parseMediaConfig(argv[argi + 1]);
+            if (!m) {
+                std::fprintf(stderr,
+                             "gpmbench: unknown media backend '%s' "
+                             "(valid: %s)\n",
+                             argv[argi + 1], mediaUsage());
+                return 1;
+            }
+            applyMediaConfig(cfg, *m);
         }
-        cfg.exec_workers = *jobs;
         argi += 2;
     }
     if (argi >= argc)

@@ -49,6 +49,7 @@
 #include "common/env.hpp"
 #include "common/status.hpp"
 #include "crashtest/torture_runner.hpp"
+#include "memsim/media_backend.hpp"
 
 using namespace gpm;
 
@@ -91,8 +92,8 @@ usage()
         "usage: gpmtorture [--workloads w,...] [--domains d,...]\n"
         "                  [--points p,...] [--seeds s,...]\n"
         "                  [--survive f,...] [--jobs n]\n"
-        "                  [--exec-workers n] [--scale] [--tsv]\n"
-        "                  [--summary-only] [--list]\n");
+        "                  [--exec-workers n] [--media m] [--scale]\n"
+        "                  [--tsv] [--summary-only] [--list]\n");
 }
 
 void
@@ -106,6 +107,7 @@ list()
         std::printf(" %s", w.c_str());
     std::printf("\n");
     std::printf("domains: llc-volatile mc-durable llc-durable\n");
+    std::printf("media backends: %s\n", mediaUsage());
     std::printf("crash points: frac:<f> before-fence:<n> "
                 "after-fence:<n> after-store:<n>\n");
     std::printf("default grid:");
@@ -170,6 +172,14 @@ main(int argc, char **argv)
                             "--exec-workers: want an integer in [0, ",
                             kMaxExecWorkers, "], got '", v, "'");
                 cfg.exec_workers = *w;
+            } else if (arg == "--media") {
+                const std::string v = value();
+                const std::optional<MediaConfig> m =
+                    parseMediaConfig(v);
+                if (!m)
+                    fatal("unknown media backend '", v, "' (valid: ",
+                          mediaUsage(), ")");
+                cfg.media = *m;
             } else if (arg == "--scale") {
                 scale = true;
             } else if (arg == "--tsv") {
@@ -203,9 +213,9 @@ main(int argc, char **argv)
         TortureConfig counted = cfg;
         counted.applyDefaults();
         std::printf("sweeping %zu crash scenarios (--jobs %d, "
-                    "--exec-workers %d)...\n",
+                    "--exec-workers %d, --media %s)...\n",
                     counted.scenarioCount(), cfg.jobs,
-                    cfg.exec_workers);
+                    cfg.exec_workers, mediaKey(cfg.media).c_str());
 
         const auto t0 = std::chrono::steady_clock::now();
         const TortureReport report = TortureRunner::run(cfg);

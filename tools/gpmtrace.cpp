@@ -37,6 +37,7 @@
 
 #include "common/env.hpp"
 #include "harness/experiments.hpp"
+#include "memsim/media_backend.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -62,15 +63,17 @@ usage()
     std::printf(
         "gpmtrace — timeline + metrics for one workload run\n\n"
         "  gpmtrace --workload W [--platform P] [--seed N] [--jobs N]\n"
-        "           [--trace FILE] [--metrics FILE] [--summary [N]]\n"
-        "           [--no-crash]\n"
+        "           [--media M] [--trace FILE] [--metrics FILE]\n"
+        "           [--summary [N]] [--no-crash]\n"
         "  gpmtrace list\n\n"
         "workloads: kvs kvs95 dbi dbu dnn cfd blk hs bfs srad ps\n"
         "platforms: gpm ndp eadr capfs capmm capeadr gpufs\n"
+        "media:     %s\n"
         "--jobs N:   parallel-executor lanes (0 = hardware threads)\n"
         "--no-crash: skip the crash + recovery pass\n"
         "--summary:  print top-N hottest kernels, NVM tier bytes,\n"
-        "            coalescing efficiency and worker utilization\n");
+        "            coalescing efficiency and worker utilization\n",
+        mediaUsage());
     return 2;
 }
 
@@ -140,6 +143,19 @@ printSummary(const Options &opt, const telemetry::Session &session,
     std::printf("  random        %12llu (%5.1f%%)\n",
                 static_cast<unsigned long long>(rnd),
                 total ? 100.0 * rnd / total : 0.0);
+    const std::uint64_t read_bytes =
+        snap.counter("nvm.observed_read_bytes");
+    const std::uint64_t read_ops = snap.counter("nvm.observed_read_ops");
+    std::printf("  reads         %12llu bytes in %llu ops\n",
+                static_cast<unsigned long long>(read_bytes),
+                static_cast<unsigned long long>(read_ops));
+
+    std::printf("\nmedia backend: %s\n", mediaKey(cfg.media).c_str());
+    for (const auto &[name, v] : snap.counters) {
+        if (name.rfind("media.", 0) == 0)
+            std::printf("  %-28s %12llu\n", name.c_str() + 6,
+                        static_cast<unsigned long long>(v));
+    }
 
     const std::uint64_t payload = snap.counter("sim.pm_payload_bytes");
     const std::uint64_t line_bytes = snap.counter("sim.pm_line_bytes");
@@ -215,6 +231,7 @@ writeMetrics(const std::string &path, const Options &opt,
         w.field("platform", platformKey(opt.platform));
         w.field("seed", opt.seed);
         w.field("jobs", cfg.exec_workers);
+        w.field("media", mediaKey(cfg.media));
         w.field("identities_ok", identities_ok);
         snap.writeFields(w);
         w.endObject();
@@ -279,6 +296,17 @@ main(int argc, char **argv)
                 return 2;
             }
             cfg.exec_workers = *jobs;
+        } else if (a == "--media") {
+            const char *v = next("--media");
+            const std::optional<MediaConfig> m = parseMediaConfig(v);
+            if (!m) {
+                std::fprintf(stderr,
+                             "gpmtrace: unknown media backend '%s' "
+                             "(valid: %s)\n",
+                             v, mediaUsage());
+                return 2;
+            }
+            applyMediaConfig(cfg, *m);
         } else if (a == "--trace") {
             opt.trace_path = next("--trace");
         } else if (a == "--metrics") {
